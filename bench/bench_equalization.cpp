@@ -1,0 +1,65 @@
+// Experiment E1 — path equalization: "To get the maximum T from a
+// feedforward arrangement, it is necessary to insert enough spare relay
+// stations to make all converging paths of the same length."
+//
+// Runs the equalizer on unbalanced feed-forward designs and measures
+// throughput before/after, plus the insertion cost.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "liplib/graph/analysis.hpp"
+#include "liplib/graph/equalize.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "liplib/support/table.hpp"
+
+using namespace liplib;
+
+namespace {
+
+Rational measure(graph::Generated gen) {
+  auto d = benchutil::make_design(std::move(gen));
+  auto sys = d.instantiate();
+  return lip::measure_steady_state(*sys).system_throughput();
+}
+
+}  // namespace
+
+int main() {
+  benchutil::heading("E1: path equalization of feed-forward designs");
+
+  Table t({"design", "stations before", "T before", "spare RS added",
+           "T after"});
+  struct Case {
+    std::string name;
+    graph::Generated gen;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fig1 (i=1)", graph::make_fig1()});
+  cases.push_back({"reconvergent i=2", graph::make_reconvergent(1, 1, 2)});
+  cases.push_back({"reconvergent i=3", graph::make_reconvergent(1, 2, 2)});
+  cases.push_back({"reconvergent deep", graph::make_reconvergent(2, 3, 2)});
+  {
+    Rng rng(2024);
+    for (int i = 0; i < 3; ++i) {
+      cases.push_back({"random DAG #" + std::to_string(i),
+                       graph::make_random_feedforward(rng, 7, 3,
+                                                      /*allow_half=*/false)});
+    }
+  }
+
+  for (auto& c : cases) {
+    const std::size_t before_st = c.gen.topo.total_stations();
+    const auto before = measure(c.gen);
+    const std::size_t added = graph::equalize_paths(c.gen.topo);
+    const auto after = measure(std::move(c.gen));
+    t.add_row({c.name, std::to_string(before_st), before.str(),
+               std::to_string(added), after.str()});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected shape: every feed-forward design reaches T = 1\n"
+               "after equalization; the insertion cost equals the total\n"
+               "station imbalance over the reconvergent fork/join pairs.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment F2 — paper Fig. 2, "FeedBack Topology Evolution".
+//
+// Reproduces the two-shell feedback ring (one full relay station per
+// direction, S = 2, R = 2): "a maximum of S valid data can be present at
+// a time, out of S + R positions", hence T = S/(S + R) = 1/2 — the
+// output alternates valid data and voids after the transient.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "liplib/graph/analysis.hpp"
+#include "liplib/lip/evolution.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "liplib/support/table.hpp"
+
+using namespace liplib;
+
+int main() {
+  benchutil::heading("F2: Fig. 2 FeedBack Topology Evolution");
+
+  std::cout << "Topology: A(fork: loop + tap) -> RS -> B -> RS -> A, with\n"
+               "a sink tapping A.  S = 2 shells, R = 2 relay stations.\n\n";
+
+  {
+    auto d = benchutil::make_design(graph::make_fig2());
+    auto sys = d.instantiate();
+    std::cout << lip::render_evolution(*sys, 16) << "\n";
+  }
+
+  benchutil::heading("F2: steady state vs. the paper");
+  Table t({"policy", "T measured", "T paper S/(S+R)", "transient", "period"});
+  for (auto pol :
+       {lip::StopPolicy::kCarloniStrict, lip::StopPolicy::kCasuDiscardOnVoid}) {
+    auto gen = graph::make_fig2();
+    auto d = benchutil::make_design(std::move(gen));
+    auto sys = d.instantiate({pol});
+    const auto ss = lip::measure_steady_state(*sys);
+    t.add_row({to_string(pol), ss.system_throughput().str(),
+               graph::loop_throughput(2, 2).str(),
+               std::to_string(ss.transient), std::to_string(ss.period)});
+  }
+  t.print(std::cout);
+
+  benchutil::heading("F2 family: the tapped ring at other R");
+  Table sweep({"R(A->B)", "R(B->A)", "T measured", "T = S/(S+R)"});
+  for (std::size_t ab = 1; ab <= 4; ++ab) {
+    for (std::size_t ba = 1; ba <= 4; ++ba) {
+      auto d =
+          benchutil::make_design(graph::make_ring_with_tap(ab, ba));
+      auto sys = d.instantiate();
+      const auto ss = lip::measure_steady_state(*sys);
+      sweep.add_row({std::to_string(ab), std::to_string(ba),
+                     ss.system_throughput().str(),
+                     graph::loop_throughput(2, ab + ba).str()});
+    }
+  }
+  sweep.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment V1 — the paper's protocol refinement: "in our implementation
+// stops on invalid signals are discarded.  The overall computation can
+// get a significant speedup, and higher locality of management of
+// void/stop signals is ensured."
+//
+// Compares the reference protocol (stops honored regardless of validity:
+// voids occupy relay stations and are frozen by stops; a stopped void
+// blocks a shell) against the variant, under environments that actually
+// generate stop-on-void situations: bursty sink back pressure and sparse
+// sources.  Steady streams show no difference; the gap opens under
+// congestion, which is the paper's point about locality.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "liplib/support/table.hpp"
+
+using namespace liplib;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  graph::Generated (*make)();
+  std::uint64_t sink_period;  // consume 1 token every k cycles (0 = greedy)
+  std::uint64_t source_gap;   // source ready 1 cycle in k (0 = always)
+};
+
+graph::Generated deep_pipe() { return graph::make_pipeline(4, 3); }
+graph::Generated fig1() { return graph::make_fig1(); }
+graph::Generated wide_reconv() { return graph::make_reconvergent(1, 2, 2); }
+graph::Generated ring() { return graph::make_ring_with_tap(2, 2); }
+
+std::uint64_t run_tokens(const Scenario& sc, lip::StopPolicy pol,
+                         std::uint64_t cycles) {
+  auto gen = sc.make();
+  auto d = benchutil::make_design(gen);
+  if (sc.sink_period > 1) {
+    for (auto s : gen.sinks) {
+      d.set_sink(s, lip::SinkBehavior::periodic(sc.sink_period));
+    }
+  }
+  if (sc.source_gap > 1) {
+    for (auto s : gen.sources) {
+      d.set_source(s, lip::SourceBehavior::sparse_counter(
+                          /*seed=*/17, 1, sc.source_gap));
+    }
+  }
+  auto sys = d.instantiate({pol});
+  sys->run(cycles);
+  std::uint64_t total = 0;
+  for (auto s : gen.sinks) total += sys->sink_count(s);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::heading(
+      "V1: protocol variant — discarding stops on invalid signals");
+
+  const Scenario scenarios[] = {
+      {"deep pipeline, greedy sink", deep_pipe, 0, 0},
+      {"deep pipeline, sink 1/2", deep_pipe, 2, 0},
+      {"deep pipeline, sink 1/3", deep_pipe, 3, 0},
+      {"deep pipeline, sink 1/3 + sparse source", deep_pipe, 3, 3},
+      {"fig1 reconvergent, greedy sink", fig1, 0, 0},
+      {"fig1 reconvergent, sink 1/2", fig1, 2, 0},
+      {"reconvergent i=3, sink 1/2", wide_reconv, 2, 0},
+      {"reconvergent i=3, sink 1/4", wide_reconv, 4, 0},
+      {"tapped ring, sink 1/3", ring, 3, 0},
+  };
+  const std::uint64_t kCycles = 3000;
+
+  Table t({"scenario", "tokens (strict)", "tokens (variant)",
+           "variant speedup"});
+  for (const auto& sc : scenarios) {
+    const auto strict =
+        run_tokens(sc, lip::StopPolicy::kCarloniStrict, kCycles);
+    const auto variant =
+        run_tokens(sc, lip::StopPolicy::kCasuDiscardOnVoid, kCycles);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3fx",
+                  strict ? static_cast<double>(variant) /
+                               static_cast<double>(strict)
+                         : 0.0);
+    t.add_row({sc.name, std::to_string(strict), std::to_string(variant),
+               buf});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected shape: identical under smooth traffic, variant\n"
+               ">= strict everywhere, with the gap opening when back\n"
+               "pressure meets voids (congested reconvergence, throttled\n"
+               "sinks behind relay-station chains).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the benchmark/reproduction harnesses.
+
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "liplib/graph/generators.hpp"
+#include "liplib/lip/design.hpp"
+#include "liplib/pearls/pearls.hpp"
+
+namespace liplib::benchutil {
+
+/// Default pearl for a node arity (same convention as the test suite).
+inline std::unique_ptr<lip::Pearl> default_pearl(std::size_t num_in,
+                                                 std::size_t num_out) {
+  if (num_in == 1 && num_out == 1) return pearls::make_identity();
+  if (num_in == 2 && num_out == 1) return pearls::make_adder();
+  if (num_in == 1 && num_out == 2) return pearls::make_fork2();
+  if (num_in == 2 && num_out == 2) return pearls::make_butterfly();
+  if (num_in == 0 && num_out == 1) return pearls::make_generator(0, 1);
+  throw ApiError("no default pearl for arity");
+}
+
+inline lip::Design make_design(graph::Generated g) {
+  lip::Design d(std::move(g.topo));
+  for (graph::NodeId p : g.processes) {
+    const auto& node = d.topology().node(p);
+    d.set_pearl(p, default_pearl(node.num_inputs, node.num_outputs));
+  }
+  return d;
+}
+
+/// Section header in the harness output.
+inline void heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace liplib::benchutil

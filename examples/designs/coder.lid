@@ -1,0 +1,11 @@
+# A small annotated coder: runnable with full data.
+# Try: lidtool run coder.lid 500
+source  cam        sparse(7,2,3)
+process xf   1 1   transform8
+process q    1 1   quantizer(4)
+process pack 1 1   rle
+sink    out        periodic(2)
+channel cam.0 -> xf.0
+channel xf.0 -> q.0 : F F
+channel q.0 -> pack.0 : H
+channel pack.0 -> out.0

@@ -1,0 +1,12 @@
+# The paper's Fig. 1: reconvergent feed-forward design, T = 4/5.
+# Try: lidtool analyze fig1.lid ; lidtool equalize fig1.lid
+source src
+process A 1 2   fork2
+process B 1 1
+process C 2 1   adder
+sink out
+channel src.0 -> A.0
+channel A.0 -> B.0 : F
+channel B.0 -> C.0 : F
+channel A.1 -> C.1 : F
+channel C.0 -> out.0

@@ -1,0 +1,9 @@
+# A control loop pipelined with cheap half relay stations: live from
+# reset, latent stop latch under worst-case occupancy.
+# Try: lidtool screen half_ring.lid ; lidtool flow half_ring.lid
+process ctl 1 1
+process plant 1 1
+process est 1 1
+channel ctl.0 -> plant.0 : H
+channel plant.0 -> est.0 : H
+channel est.0 -> ctl.0 : H

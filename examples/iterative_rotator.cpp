@@ -1,0 +1,174 @@
+// iterative_rotator — a self-interacting loop (the paper's feedback
+// topology) doing real work: vectors circulate through a ring of CORDIC
+// micro-rotation stages several times before leaving.  Demonstrates
+//
+//   - writing a custom Pearl (the loop controller) against the public
+//     interface: plain synchronous code, no protocol logic;
+//   - loop throughput T = S/(S+R) and why adding pipeline stations to a
+//     loop *costs* throughput (the inverse of the feed-forward case);
+//   - the Carloni-style buffered-shell option as a drop-in alternative.
+//
+//   $ ./iterative_rotator
+
+#include <iostream>
+
+#include "liplib/graph/analysis.hpp"
+#include "liplib/graph/mcr.hpp"
+#include "liplib/graph/topology.hpp"
+#include "liplib/lip/design.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "liplib/pearls/pearls.hpp"
+#include "liplib/support/table.hpp"
+
+using namespace liplib;
+
+namespace {
+
+// Vectors are packed as (x << 20 | y) in 40 bits plus a 4-bit lap
+// counter in the top bits; the controller recirculates a vector until it
+// has completed kLaps trips around the ring, then emits it and admits
+// the next input.
+constexpr std::uint64_t kLaps = 3;
+
+/// The loop controller: a custom pearl.  Port 0 input = new work from
+/// outside; port 1 input = vector returning from the ring.  Port 0
+/// output = finished vectors; port 1 output = vector sent into the ring.
+/// Every firing consumes one token per input and produces one per
+/// output, as the Pearl contract requires: when the returning vector
+/// still needs laps it goes around again and the external datum is
+/// reflected back to the output as a pass-through marker (tagged so the
+/// consumer can tell results from markers).
+class RotatorControl final : public lip::Pearl {
+ public:
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 2; }
+  std::uint64_t initial_output(std::size_t port) const override {
+    // The ring's circulating token starts as an idle bubble (lap count
+    // maxed so it is immediately replaceable); the chain output starts
+    // as a marker.
+    return port == 1 ? make_idle() : kMarker;
+  }
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    const std::uint64_t fresh = in[0];
+    const std::uint64_t back = in[1];
+    const std::uint64_t laps = back >> 60;
+    if (laps >= kLaps) {
+      // Returning vector is done (or an idle bubble): emit it, admit the
+      // fresh datum into the ring with lap count 0.
+      out[0] = back == make_idle() ? kMarker : (back & kPayloadMask);
+      out[1] = fresh & kPayloadMask;  // lap 0
+    } else {
+      // Not done: send it around again, bounce the fresh datum back out
+      // as a marker so no token is lost.  (A real design would instead
+      // stall intake; markers keep the pearl contract trivially simple.)
+      out[0] = kMarker | (fresh & kPayloadMask);
+      out[1] = (back & kPayloadMask) | ((laps + 1) << 60);
+    }
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<RotatorControl>();
+  }
+
+  static constexpr std::uint64_t kMarker = 1ull << 59;
+  static constexpr std::uint64_t kPayloadMask = (1ull << 59) - 1;
+  static std::uint64_t make_idle() { return kLaps << 60; }
+};
+
+struct Ring {
+  graph::Topology topo;
+  graph::NodeId src, ctl, snk;
+  std::vector<graph::NodeId> stages;
+};
+
+Ring build(std::size_t stages, std::size_t stations_per_hop) {
+  Ring r;
+  r.src = r.topo.add_source("vectors");
+  r.ctl = r.topo.add_process("control", 2, 2);
+  r.snk = r.topo.add_sink("rotated");
+  r.topo.connect({r.src, 0}, {r.ctl, 0});
+  graph::NodeId prev = r.ctl;
+  std::size_t prev_port = 1;
+  for (std::size_t i = 0; i < stages; ++i) {
+    const auto st = r.topo.add_process("cordic" + std::to_string(i), 1, 1);
+    r.stages.push_back(st);
+    r.topo.connect({prev, prev_port}, {st, 0},
+                   std::vector<graph::RsKind>(stations_per_hop,
+                                              graph::RsKind::kFull));
+    prev = st;
+    prev_port = 0;
+  }
+  r.topo.connect({prev, prev_port}, {r.ctl, 1},
+                 std::vector<graph::RsKind>(stations_per_hop,
+                                            graph::RsKind::kFull));
+  r.topo.connect({r.ctl, 0}, {r.snk, 0});
+  return r;
+}
+
+lip::Design bind(const Ring& r) {
+  lip::Design d(r.topo);
+  d.set_pearl(r.ctl, std::make_unique<RotatorControl>());
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    // A rotation stage that only touches the payload bits.
+    d.set_pearl(r.stages[i], pearls::make_bit_mixer());
+  }
+  d.set_source(r.src, lip::SourceBehavior::counter());
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Iterative rotator: vectors take " << kLaps
+            << " laps around a CORDIC ring\n\n";
+
+  Table t({"ring stages S'", "RS per hop", "loop T = S/(S+R)", "T measured",
+           "results per 1k cycles"});
+  for (std::size_t stages : {2u, 3u}) {
+    for (std::size_t per : {1u, 2u}) {
+      Ring r = build(stages, per);
+      // The loop contains the controller + the stages.
+      const auto loop_t = graph::min_cycle_ratio(r.topo);
+      auto d = bind(r);
+      auto sys = d.instantiate();
+      const auto ss = lip::measure_steady_state(*sys);
+      auto counting = d.instantiate();
+      counting->run(1000);
+      // Count real results (non-marker tokens) at the sink.
+      std::size_t results = 0;
+      for (const auto& tok : counting->sink_stream(r.snk)) {
+        if (!(tok.data & RotatorControl::kMarker) &&
+            tok.data != RotatorControl::kMarker) {
+          ++results;
+        }
+      }
+      t.add_row({std::to_string(stages), std::to_string(per),
+                 loop_t ? loop_t->str() : std::string("-"),
+                 ss.found ? ss.system_throughput().str() : "?",
+                 std::to_string(results)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nLoops invert the feed-forward lesson: every extra relay\n"
+               "station in the ring lowers T = S/(S+R); deep wire\n"
+               "pipelining belongs outside loops.\n\n";
+
+  // The same design under Carloni-style buffered shells.
+  Ring r = build(2, 1);
+  auto d = bind(r);
+  lip::SystemOptions opts;
+  opts.input_queue_depth = 1;
+  auto sys = d.instantiate(opts);
+  const auto ss = lip::measure_steady_state(*sys);
+  std::cout << "with buffered shells (depth 1): T = "
+            << (ss.found ? ss.system_throughput().str() : "?")
+            << " — the input FIFOs add ring positions, costing throughput\n"
+               "just like stations do.\n";
+
+  const auto equiv = lip::check_latency_equivalence(bind(build(2, 1)), {},
+                                                    400);
+  std::cout << "\nlatency equivalence of the rotator: "
+            << (equiv.ok ? "ok" : "BROKEN") << " (" << equiv.tokens_checked
+            << " tokens)\n";
+  return 0;
+}

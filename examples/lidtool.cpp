@@ -1,0 +1,248 @@
+// lidtool — command-line front end for latency-insensitive designs in the
+// .lid netlist format (see liplib/graph/netlist_io.hpp).
+//
+//   lidtool validate  <file.lid>    structural checks + warnings
+//   lidtool analyze   <file.lid>    analytic throughput (formulas + MCR)
+//   lidtool simulate  <file.lid>    skeleton simulation to steady state
+//   lidtool screen    <file.lid>    deadlock screening (reset + worst case)
+//   lidtool cure      <file.lid>    substitute stations until deadlock free
+//   lidtool equalize  <file.lid>    insert spare stations, print new netlist
+//   lidtool flow      <file.lid>    full flow: screen, cure, sign off
+//   lidtool run       <file.lid> [n] full-data simulation (annotated file)
+//   lidtool dot       <file.lid>    graphviz rendering
+//
+// Run without arguments for a demo on the paper's Fig. 1 design.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "liplib/graph/analysis.hpp"
+#include "liplib/graph/equalize.hpp"
+#include "liplib/graph/mcr.hpp"
+#include "liplib/flow/design_flow.hpp"
+#include "liplib/graph/netlist_io.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "liplib/pearls/design_io.hpp"
+#include "liplib/skeleton/skeleton.hpp"
+#include "liplib/support/table.hpp"
+
+using namespace liplib;
+
+namespace {
+
+const char* kFig1Netlist = R"(# the paper's Fig. 1 design
+source src
+process A 1 2
+process B 1 1
+process C 2 1
+sink out
+channel src.0 -> A.0
+channel A.0 -> B.0 : F
+channel B.0 -> C.0 : F
+channel A.1 -> C.1 : F
+channel C.0 -> out.0
+)";
+
+int cmd_validate(const graph::Topology& topo) {
+  const auto report = topo.validate();
+  if (report.issues.empty()) {
+    std::cout << "ok: no issues\n";
+  } else {
+    std::cout << report.to_string();
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_analyze(const graph::Topology& topo) {
+  const auto pred = graph::predict_throughput(topo);
+  std::cout << "feedforward: " << (topo.is_feedforward() ? "yes" : "no")
+            << "\n";
+  if (const auto mcr = graph::min_cycle_ratio(topo)) {
+    std::cout << "loop bound (min cycle ratio): " << mcr->str() << "\n";
+  }
+  if (!pred.cycles.empty()) {
+    Table t({"cycle (shells)", "S", "R", "T = S/(S+R)"});
+    for (const auto& c : pred.cycles) {
+      std::string names;
+      for (auto v : c.nodes) {
+        if (!names.empty()) names += ",";
+        names += topo.node(v).name;
+      }
+      t.add_row({names, std::to_string(c.shells), std::to_string(c.stations),
+                 c.throughput.str()});
+    }
+    t.print(std::cout);
+  }
+  if (!pred.reconvergences.empty()) {
+    Table t({"fork", "join", "i", "m", "T = (m-i)/m"});
+    for (const auto& r : pred.reconvergences) {
+      t.add_row({topo.node(r.fork).name, topo.node(r.join).name,
+                 std::to_string(r.i()), std::to_string(r.m()),
+                 r.throughput().str()});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "predicted system throughput: " << pred.system().str() << "\n";
+  std::cout << "transient bound: " << graph::transient_bound(topo)
+            << " cycles\n";
+  return 0;
+}
+
+int cmd_simulate(const graph::Topology& topo) {
+  skeleton::Skeleton sk(topo);
+  const auto r = sk.analyze();
+  if (!r.found) {
+    std::cout << "no steady state within budget\n";
+    return 1;
+  }
+  std::cout << "transient: " << r.transient << " cycles, period: " << r.period
+            << "\n";
+  Table t({"shell", "throughput"});
+  for (std::size_t i = 0; i < r.shell_ids.size(); ++i) {
+    t.add_row({topo.node(r.shell_ids[i]).name, r.shell_throughput[i].str()});
+  }
+  t.print(std::cout);
+  std::cout << "system throughput: " << r.system_throughput().str() << "\n";
+  return 0;
+}
+
+int cmd_screen(const graph::Topology& topo) {
+  skeleton::ScreeningOptions reset;
+  const auto a = skeleton::screen_for_deadlock(topo, reset);
+  std::cout << "from reset: "
+            << (a.deadlock_found ? "DEADLOCK" : "live, T = " +
+                                                    a.min_throughput.str())
+            << " (" << a.cycles_simulated << " skeleton cycles)\n";
+  skeleton::ScreeningOptions wc;
+  wc.worst_case_occupancy = true;
+  const auto b = skeleton::screen_for_deadlock(topo, wc);
+  std::cout << "worst-case occupancy: "
+            << (b.deadlock_found ? "DEADLOCK" : "live, T = " +
+                                                    b.min_throughput.str())
+            << "\n";
+  for (auto v : b.starved) {
+    std::cout << "  starved shell: " << topo.node(v).name << "\n";
+  }
+  return (a.deadlock_found || b.deadlock_found) ? 1 : 0;
+}
+
+int cmd_cure(const graph::Topology& topo) {
+  skeleton::ScreeningOptions wc;
+  wc.worst_case_occupancy = true;
+  const auto cure = skeleton::cure_deadlocks(topo, wc);
+  std::cout << "substitutions: " << cure.substitutions << "\n"
+            << "result: " << (cure.success ? "deadlock free" : "NOT cured")
+            << "\n\n"
+            << graph::write_netlist(cure.cured);
+  return cure.success ? 0 : 1;
+}
+
+int cmd_flow(const graph::Topology& topo) {
+  flow::FlowOptions opts;  // keep stations as given; screen + cure + sign off
+  const auto result = flow::run_design_flow(topo, opts);
+  std::cout << result.summary();
+  if (result.ok) {
+    std::cout << "\n" << graph::write_netlist(result.topology);
+  }
+  return result.ok ? 0 : 1;
+}
+
+int cmd_run(std::istream& in, std::uint64_t cycles) {
+  auto design = pearls::parse_design(in);
+  auto sys = design.instantiate();
+  sys->run(cycles);
+  const auto& topo = design.topology();
+  for (graph::NodeId v = 0; v < topo.nodes().size(); ++v) {
+    if (topo.node(v).kind != graph::NodeKind::kSink) continue;
+    const auto& stream = sys->sink_stream(v);
+    std::cout << topo.node(v).name << " consumed " << stream.size()
+              << " tokens:";
+    const std::size_t show = std::min<std::size_t>(stream.size(), 16);
+    for (std::size_t i = 0; i < show; ++i) {
+      std::cout << ' ' << stream[i].data;
+    }
+    if (stream.size() > show) std::cout << " ...";
+    std::cout << "\n";
+  }
+  auto fresh = design.instantiate();
+  const auto ss = lip::measure_steady_state(*fresh);
+  if (ss.found) {
+    std::cout << "steady state (sound for periodic environments): T = "
+              << ss.system_throughput().str()
+              << ", transient " << ss.transient << ", period " << ss.period
+              << "\n";
+  }
+  const auto equiv = lip::check_latency_equivalence(design, {}, cycles);
+  std::cout << "latency equivalence vs ideal system: "
+            << (equiv.ok ? "ok" : "BROKEN: " + equiv.detail) << "\n";
+  return equiv.ok ? 0 : 1;
+}
+
+int cmd_equalize(graph::Topology topo) {
+  if (!topo.is_feedforward()) {
+    std::cout << "design has feedback loops; equalization applies to "
+                 "feed-forward designs only\n";
+    return 1;
+  }
+  const auto added = graph::equalize_paths(topo);
+  std::cout << "# equalization added " << added << " spare stations\n"
+            << graph::write_netlist(topo);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    graph::Topology topo;
+    std::string cmd;
+    if (argc >= 3) {
+      cmd = argv[1];
+      std::ifstream in(argv[2]);
+      if (!in) {
+        std::cerr << "cannot open " << argv[2] << "\n";
+        return 2;
+      }
+      if (cmd == "run") {
+        const std::uint64_t cycles =
+            argc >= 4 ? std::stoull(argv[3]) : 1000;
+        return cmd_run(in, cycles);
+      }
+      // Structural commands accept annotated files too.
+      topo = graph::parse_netlist_annotated(in).topo;
+    } else {
+      std::cout << "usage: lidtool <validate|analyze|simulate|screen|cure|"
+                   "equalize|flow|dot> <file.lid>\n"
+                   "       lidtool run <file.lid> [cycles]\n"
+                   "running the full demo on the built-in Fig. 1 design:\n\n";
+      topo = graph::parse_netlist_string(kFig1Netlist);
+      std::cout << "--- validate ---\n";
+      cmd_validate(topo);
+      std::cout << "--- analyze ---\n";
+      cmd_analyze(topo);
+      std::cout << "--- simulate ---\n";
+      cmd_simulate(topo);
+      std::cout << "--- screen ---\n";
+      cmd_screen(topo);
+      std::cout << "--- equalize ---\n";
+      return cmd_equalize(std::move(topo));
+    }
+    if (cmd == "validate") return cmd_validate(topo);
+    if (cmd == "analyze") return cmd_analyze(topo);
+    if (cmd == "simulate") return cmd_simulate(topo);
+    if (cmd == "screen") return cmd_screen(topo);
+    if (cmd == "cure") return cmd_cure(topo);
+    if (cmd == "equalize") return cmd_equalize(std::move(topo));
+    if (cmd == "flow") return cmd_flow(topo);
+    if (cmd == "dot") {
+      std::cout << topo.to_dot();
+      return 0;
+    }
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,75 @@
+// waveforms — RTL simulation of the paper's Fig. 1 design with waveform
+// dumping, the workflow the paper used to validate its blocks ("a VHDL
+// description of all blocks and an event-driven simulator").
+//
+// Elaborates the reconvergent Fig. 1 topology as an RTL netlist on the
+// event-driven kernel, dumps every channel's valid/data/stop wires to a
+// VCD file (viewable with GTKWave), and cross-checks the event-driven run
+// against the cycle-accurate protocol simulator.
+//
+//   $ ./waveforms [out.vcd]
+
+#include <fstream>
+#include <iostream>
+
+#include "liplib/graph/generators.hpp"
+#include "liplib/lip/design.hpp"
+#include "liplib/pearls/pearls.hpp"
+#include "liplib/rtl/rtl_system.hpp"
+
+using namespace liplib;
+
+namespace {
+
+std::unique_ptr<lip::Pearl> pearl_for(const graph::Node& node) {
+  if (node.num_inputs == 1 && node.num_outputs == 2) {
+    return pearls::make_fork2();
+  }
+  if (node.num_inputs == 2) return pearls::make_adder();
+  return pearls::make_identity();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "fig1.vcd";
+  auto gen = graph::make_fig1();
+
+  // RTL, event-driven, with waveform dump.
+  std::ofstream vcd_file(path);
+  if (!vcd_file) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  rtl::RtlSystem rtl(gen.topo);
+  for (auto p : gen.processes) {
+    rtl.bind_pearl(p, pearl_for(gen.topo.node(p)));
+  }
+  rtl.attach_vcd(vcd_file);
+  rtl.run_cycles(60);
+
+  // Cycle-accurate twin for cross-checking.
+  lip::Design d(gen.topo);
+  for (auto p : gen.processes) d.set_pearl(p, pearl_for(gen.topo.node(p)));
+  auto sys = d.instantiate();
+  sys->record_sink_trace(true);
+  sys->run(60);
+
+  bool match = true;
+  for (auto s : gen.sinks) {
+    const auto& a = sys->sink_cycle_trace(s);
+    const auto& b = rtl.sink_cycle_trace(s);
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i].str() != b[i].str()) match = false;
+    }
+  }
+  std::cout << "RTL (event-driven) vs cycle-accurate protocol model: "
+            << (match ? "identical sink traces over 60 cycles" : "MISMATCH")
+            << "\n";
+  std::cout << "kernel delta cycles executed: " << rtl.context().delta_count()
+            << "\n";
+  std::cout << "waveform written to " << path
+            << " — open with GTKWave to see the voids draining and the\n"
+               "stop pulses on the short branch (the paper's Fig. 1).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// liplib/formal/checker.hpp
+//
+// A small explicit-state model checker, standing in for the SMV runs of
+// the paper.  The paper verified, at RT level and under an environment
+// assumption ("all inputs keep their values on asserted stops"):
+//   shells:         coherent data, in-order outputs, no skipped outputs;
+//   relay stations: in-order outputs, no skipped outputs, output held on
+//                   asserted stops.
+// These are finite-state safety properties over a block composed with a
+// nondeterministic environment; exhaustive breadth-first reachability is
+// sound and complete for them, which is exactly the guarantee SMV gives.
+//
+// A Model enumerates, for each reachable state, all successor states (one
+// per environment choice), flagging protocol violations detected by the
+// in-model monitors.  check_safety explores the full reachable state
+// space and returns either a clean bill with the state count, or a
+// violation with a minimal-length counterexample trace.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace liplib::formal {
+
+/// One successor of a state under one environment choice.
+struct Succ {
+  /// Encoded successor state (any byte string; must be canonical).
+  std::string state;
+  /// Human-readable label of the environment choice (for traces).
+  std::string choice;
+  /// Set when the transition trips a monitor.
+  std::optional<std::string> violation;
+};
+
+/// A finite transition system with embedded safety monitors.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Canonical encoding of the initial state.
+  virtual std::string initial() const = 0;
+
+  /// All successors of `state`, one per environment choice.  Must be
+  /// deterministic in `state` (same input, same output order).
+  virtual std::vector<Succ> successors(const std::string& state) const = 0;
+
+  /// Pretty-prints a state for counterexample traces.
+  virtual std::string describe(const std::string& state) const {
+    std::string hex;
+    for (unsigned char c : state) {
+      static const char* digits = "0123456789abcdef";
+      hex += digits[c >> 4];
+      hex += digits[c & 15];
+    }
+    return hex;
+  }
+};
+
+/// Outcome of exhaustive reachability.
+struct CheckResult {
+  bool ok = false;
+  bool exhausted_budget = false;       ///< state budget hit before closure
+  std::uint64_t states_explored = 0;   ///< distinct states visited
+  std::uint64_t transitions = 0;       ///< transitions expanded
+  std::string violation;               ///< first (minimal-depth) violation
+  /// Counterexample: described states from initial to the bad transition,
+  /// interleaved with the environment choices taken.
+  std::vector<std::string> trace;
+};
+
+/// Explores every reachable state (BFS, so counterexamples are minimal in
+/// depth) up to `max_states`; stops at the first violation.
+CheckResult check_safety(const Model& model,
+                         std::uint64_t max_states = 1u << 22);
+
+}  // namespace liplib::formal

@@ -1,0 +1,66 @@
+// liplib/formal/protocol_models.hpp
+//
+// Finite-state models of the protocol blocks composed with nondeterministic
+// environments and safety monitors — the inputs to formal::check_safety.
+// These encode the paper's SMV verification obligations:
+//
+//   relay stations (full and half), in an environment whose valid inputs
+//   are ordered and held on asserted stops:
+//     - outputs are produced in the correct order,
+//     - no valid output is skipped (and none duplicated),
+//     - the output is kept on asserted stops;
+//
+//   shells (any input arity, any output fanout), same environment
+//   assumption per input:
+//     - coherent data: the k-th tokens of all input streams are consumed
+//       together (checked by tagging each stream and comparing at firing),
+//     - outputs in the correct order, none skipped, held on stop.
+//
+// Data independence lets a small tag alphabet stand for arbitrary data:
+// tags run modulo `tag_mod`, which is sound as long as tag_mod exceeds the
+// number of in-flight tokens a block can hold (≤ 3 for every block here).
+//
+// The models re-encode the block FSMs independently of lip::System; the
+// test suite locks the two encodings together by lockstep comparison, so
+// the exhaustive check covers the simulator's semantics, not just its own.
+
+#pragma once
+
+#include <memory>
+
+#include "liplib/formal/checker.hpp"
+#include "liplib/graph/topology.hpp"
+#include "liplib/lip/token.hpp"
+
+namespace liplib::formal {
+
+/// One relay station (of the given kind) between a nondeterministic
+/// producer and a nondeterministic consumer.
+std::unique_ptr<Model> make_relay_station_model(graph::RsKind kind,
+                                                lip::StopPolicy policy,
+                                                unsigned tag_mod = 4);
+
+/// One shell wrapping an identity/pairing pearl, with `num_inputs`
+/// tagged input streams (1 or 2) and one output port fanned out to
+/// `num_branches` independent consumers (1 or 2).
+std::unique_ptr<Model> make_shell_model(unsigned num_inputs,
+                                        unsigned num_branches,
+                                        lip::StopPolicy policy,
+                                        unsigned tag_mod = 4);
+
+/// An end-to-end chain — producer → shell → relay station → shell →
+/// consumer — checking in-order, no-skip delivery through a composition,
+/// which is the paper's safety notion for whole designs.
+std::unique_ptr<Model> make_chain_model(graph::RsKind kind,
+                                        lip::StopPolicy policy,
+                                        unsigned tag_mod = 6);
+
+/// The Carloni-style baseline shell with a `depth`-deep input FIFO
+/// (SystemOptions::input_queue_depth): same obligations as the
+/// simplified shell — in order, no skip, held on stop — plus FIFO
+/// integrity (no overflow).  tag_mod must exceed depth + 2.
+std::unique_ptr<Model> make_buffered_shell_model(unsigned depth,
+                                                 lip::StopPolicy policy,
+                                                 unsigned tag_mod = 6);
+
+}  // namespace liplib::formal

@@ -1,0 +1,51 @@
+// liplib/graph/equalize.hpp
+//
+// Path equalization: "to get the maximum T from a feedforward arrangement,
+// it is necessary to insert enough spare relay stations to make all
+// converging paths of the same length".  This module computes a
+// register-balanced re-annotation of a feedforward topology by longest-
+// path labelling (the classic slack-distribution LP relaxation) and can
+// apply it in place.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liplib/graph/topology.hpp"
+
+namespace liplib::graph {
+
+/// Outcome of equalization planning.
+struct EqualizationPlan {
+  /// stations_to_add[c] = spare relay stations to append to channel c.
+  std::vector<std::size_t> stations_to_add;
+  /// Total spare stations inserted.
+  std::size_t total_added = 0;
+  /// Register level assigned to each node by the longest-path labelling.
+  std::vector<std::uint64_t> level;
+
+  bool balanced_already() const { return total_added == 0; }
+};
+
+/// Computes the minimal per-channel insertions (under longest-path
+/// levelling, which never lengthens any source→sink path beyond the
+/// currently longest one) that make every channel satisfy
+///   level(to) == level(from) + 1 + stations(c),
+/// so all reconvergent branches carry equal register counts and the
+/// feedforward throughput returns to 1.
+///
+/// Precondition: the topology is feedforward; throws ApiError otherwise
+/// (equalizing explicit loops cannot restore T = 1 — the loop bound
+/// S/(S+R) is fundamental).
+EqualizationPlan plan_equalization(const Topology& topo);
+
+/// Applies a plan in place, appending `kind` stations to each channel.
+/// Returns the number of stations inserted.
+std::size_t apply_equalization(Topology& topo, const EqualizationPlan& plan,
+                               RsKind kind = RsKind::kFull);
+
+/// Convenience: plan + apply.  Returns the number of stations inserted.
+std::size_t equalize_paths(Topology& topo, RsKind kind = RsKind::kFull);
+
+}  // namespace liplib::graph

@@ -1,0 +1,113 @@
+// liplib/graph/generators.hpp
+//
+// Parameterized topology generators covering the paper's taxonomy:
+// trees (pipelines are degenerate trees), reconvergent feedforward
+// arrangements, feedback rings, and feed-forward combinations of
+// self-interacting loops — plus randomized feedforward DAGs for the
+// property-based test suite.  Each generator also returns the landmark
+// nodes a caller needs (sources, sinks, fork/join, ...), so benches and
+// tests never have to rediscover structure by name.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liplib/graph/topology.hpp"
+#include "liplib/support/rng.hpp"
+
+namespace liplib::graph {
+
+/// A generated topology plus its landmarks.
+struct Generated {
+  Topology topo;
+  std::vector<NodeId> sources;
+  std::vector<NodeId> processes;
+  std::vector<NodeId> sinks;
+  /// Reconvergent generators: the fork and join nodes.
+  NodeId fork = 0;
+  NodeId join = 0;
+  /// Ring generators: the channels that lie on each loop, per loop.
+  std::vector<std::vector<ChannelId>> loops;
+};
+
+/// Linear pipeline: source → P1 → … → Pn → sink, every process 1-in
+/// 1-out, each process→process channel carrying `stations_per_channel`
+/// stations of the given kind.  The simplest "tree" (T = 1).
+Generated make_pipeline(std::size_t num_processes,
+                        std::size_t stations_per_channel,
+                        RsKind kind = RsKind::kFull);
+
+/// Balanced binary reduction tree of the given depth: 2^depth sources feed
+/// 2-input join processes down to one sink.  Channel station counts are
+/// uniform, so the tree is balanced and T = 1.
+Generated make_tree(std::size_t depth, std::size_t stations_per_channel,
+                    RsKind kind = RsKind::kFull);
+
+/// The paper's Fig. 1 class: a fork process A drives a join process C
+/// both directly (short branch, `short_stations` stations) and through a
+/// chain of `long_shells` intermediate shells (long branch; each of its
+/// `long_shells + 1` channels carries `long_stations_per_hop` stations).
+/// All stations are `kind`.  A source feeds A; C feeds a sink.
+Generated make_reconvergent(std::size_t short_stations,
+                            std::size_t long_shells,
+                            std::size_t long_stations_per_hop,
+                            RsKind kind = RsKind::kFull);
+
+/// The exact Fig. 1 topology of the paper: shells A, B, C with channels
+/// A→B, B→C, A→C of one full relay station each (i = 1, m = 5, T = 4/5).
+Generated make_fig1();
+
+/// Closed feedback ring of `num_shells` 1-in 1-out shells; channel k
+/// carries stations_per_channel[k] stations of `kind`.  No sources or
+/// sinks: the circulating tokens are the shells' initialized outputs.
+Generated make_closed_ring(std::vector<std::size_t> stations_per_channel,
+                           RsKind kind = RsKind::kFull);
+
+/// Feedback ring with observation: shell A (1-in 2-out) sends to shell B
+/// and to a sink; B returns to A.  A→B carries `ab_stations`, B→A carries
+/// `ba_stations` (kind `kind`).  S = 2, R = ab + ba, T = S/(S+R).
+Generated make_ring_with_tap(std::size_t ab_stations,
+                             std::size_t ba_stations,
+                             RsKind kind = RsKind::kFull);
+
+/// The paper's Fig. 2 instance: the two-shell ring with one full relay
+/// station per direction (S = 2, R = 2, T = 1/2), tapped by a sink.
+Generated make_fig2();
+
+/// Specification of one self-interacting loop for make_loop_chain.
+struct RingSpec {
+  std::size_t extra_shells = 1;  ///< shells in the loop besides the port
+  std::size_t loop_stations = 2; ///< stations distributed around the loop
+  RsKind kind = RsKind::kFull;
+};
+
+/// The paper's "most general topology": a feed-forward chain of
+/// self-interacting loops.  Each loop has a 2-in 2-out port shell that
+/// receives the chain input and emits the chain output; loops are joined
+/// by channels with `chain_stations` full stations; a source feeds the
+/// first loop and a sink drains the last.  System throughput is dictated
+/// by the slowest loop (min over loops of S/(S+R)).
+Generated make_loop_chain(const std::vector<RingSpec>& specs,
+                          std::size_t chain_stations = 1);
+
+/// Random "most general topology" (paper): a feed-forward chain of
+/// `segments` randomly chosen fragments — pipeline stages, reconvergent
+/// diamonds and self-interacting loops — between a source and a sink.
+/// Half stations are used off-cycle when `allow_half`, and additionally
+/// inside loops when `allow_half_in_loops` (the potential-deadlock
+/// configuration; structurally valid, flagged by validate()).
+Generated make_random_composite(Rng& rng, std::size_t segments,
+                                bool allow_half = true,
+                                bool allow_half_in_loops = false);
+
+/// Random feedforward DAG with `num_processes` processes of 1 or 2 inputs
+/// and one (possibly fanned-out) output, random station counts in
+/// [1, max_stations], and a station-kind mix chosen by `rng`.  Every
+/// undriven structure is completed with sources/sinks, so validate()
+/// always passes with no errors.
+Generated make_random_feedforward(Rng& rng, std::size_t num_processes,
+                                  std::size_t max_stations = 3,
+                                  bool allow_half = true);
+
+}  // namespace liplib::graph

@@ -1,0 +1,28 @@
+// liplib/graph/mcr.hpp
+//
+// Exact minimum cycle ratio analysis of the throughput constraint graph.
+//
+// The loop bound T = min over cycles of S_C/(S_C + R_C) (paper; Carloni
+// DAC'00) is a minimum cycle ratio problem: every channel is an edge with
+// one token (the producing shell's initialized output) and length
+// 1 + stations.  enumerate_cycles() solves it by explicit enumeration,
+// which is exponential on dense graphs; this module solves it in
+// polynomial time (parametric Bellman-Ford with an exact rational
+// certificate), so large synthesized LIDs can be analyzed too.
+
+#pragma once
+
+#include <optional>
+
+#include "liplib/graph/topology.hpp"
+#include "liplib/support/rational.hpp"
+
+namespace liplib::graph {
+
+/// Exact minimum of S_C/(S_C + R_C) over all directed cycles, or nullopt
+/// when the topology is feedforward (no cycle).  Agrees with
+/// enumerate_cycles() (the test suite locks them together) but runs in
+/// O(V·E · log(V·Lmax)) instead of enumerating cycles.
+std::optional<Rational> min_cycle_ratio(const Topology& topo);
+
+}  // namespace liplib::graph

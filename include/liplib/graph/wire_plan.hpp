@@ -1,0 +1,60 @@
+// liplib/graph/wire_plan.hpp
+//
+// Physical-design front end: deciding where relay stations go in the
+// first place.  The paper's premise is that "the performance of future
+// Systems-on-Chip will be limited by the latency of long interconnects
+// requiring more than one clock cycle for the signals to propagate" —
+// i.e. a wire of length L with a single-cycle signal reach D needs at
+// least ceil(L/D) - 1 pipeline elements.
+//
+// plan_wire_pipelining annotates a station-less topology from estimated
+// wire lengths, choosing the station kind per channel:
+//   - half stations are cheaper (one register) and are used wherever the
+//     channel is not on a loop;
+//   - channels on loops get full stations, so the stop path of every
+//     loop stays registered and the design is deadlock free by
+//     construction (paper: half stations are the hazard only on loops);
+//   - optionally, feed-forward designs are path-equalized afterwards so
+//     the inserted pipelining costs no throughput.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "liplib/graph/topology.hpp"
+
+namespace liplib::graph {
+
+/// Options for plan_wire_pipelining.
+struct WirePlanOptions {
+  /// Distance a signal travels in one clock cycle (same unit as lengths).
+  double reach_per_cycle = 1.0;
+  /// Use half stations off-cycle (cheaper); full stations are always
+  /// used on cycles.
+  bool prefer_half_off_cycle = true;
+  /// Run path equalization after insertion (feed-forward designs only;
+  /// ignored for cyclic designs).
+  bool equalize = true;
+};
+
+/// Result of wire planning.
+struct WirePlanResult {
+  std::size_t stations_inserted = 0;   ///< for wire reach
+  std::size_t spare_inserted = 0;      ///< added by equalization
+  std::size_t full_count = 0;
+  std::size_t half_count = 0;
+  /// Registers spent: 2 per full station, 1 per half station.
+  std::size_t registers() const { return 2 * full_count + half_count; }
+};
+
+/// Inserts relay stations into `topo` so every channel tolerates its wire
+/// length: channel c of length lengths[c] receives
+/// max(0, ceil(lengths[c]/reach) - 1) stations (its existing stations
+/// count toward the requirement).  lengths.size() must equal
+/// topo.channels().size().  Throws ApiError on bad input.
+WirePlanResult plan_wire_pipelining(Topology& topo,
+                                    const std::vector<double>& lengths,
+                                    const WirePlanOptions& options = {});
+
+}  // namespace liplib::graph

@@ -1,0 +1,34 @@
+// liplib/lip/evolution.hpp
+//
+// Cycle-by-cycle evolution rendering — the textual equivalent of the
+// paper's Fig. 1 ("FeedForward Topology Evolution") and Fig. 2
+// ("FeedBack Topology Evolution").  Each row is one clock cycle; columns
+// show, for every shell, the token it presents and its activity
+// (fired / waiting for data / stopped), and for every relay station the
+// token it presents, with '!' marking asserted stop signals (the figures'
+// dashed arrows) and 'n' marking voids, matching the paper's notation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "liplib/lip/system.hpp"
+#include "liplib/support/table.hpp"
+
+namespace liplib::lip {
+
+/// Steps `sys` for `cycles` cycles, recording one table row per cycle.
+/// Cell notation:
+///   shells / sources:  "<token>"   plus '*' fired, '.' waiting input,
+///                                  '!' stopped by back pressure
+///   relay stations:    "<token>"   the token presented downstream,
+///                                  '!' when the station's input stop is up
+///   sinks:             "<token>"   the token presented at the output
+/// where <token> is the datum or 'n' for a void.
+liplib::Table trace_evolution(System& sys, std::uint64_t cycles);
+
+/// Renders trace_evolution() to a string.
+std::string render_evolution(System& sys, std::uint64_t cycles);
+
+}  // namespace liplib::lip

@@ -1,0 +1,54 @@
+// liplib/lip/pearl.hpp
+//
+// The "pearl" is the functional synchronous module that a shell wraps.
+// A pearl is a deterministic Moore-style machine: every activation it
+// consumes exactly one datum per input port and produces exactly one datum
+// per output port (which the shell loads into its registered, initialized-
+// valid output ports).  Pearls know nothing about the protocol: validity,
+// back pressure and clock gating live entirely in the shell.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace liplib::lip {
+
+/// Interface implemented by every functional module.
+///
+/// Determinism contract: two pearls that are clones of each other and
+/// receive the same input sequences must produce the same output
+/// sequences.  The latency-insensitive machinery relies on this to prove
+/// (and test) that the wrapped system is latency equivalent to the
+/// original zero-delay one.
+class Pearl {
+ public:
+  virtual ~Pearl() = default;
+
+  /// Number of input ports (each consumes one datum per activation).
+  virtual std::size_t num_inputs() const = 0;
+
+  /// Number of output ports (each produces one datum per activation).
+  virtual std::size_t num_outputs() const = 0;
+
+  /// The initial (reset) content of output register `port`.  The shell
+  /// initializes its output ports *valid* with these values — the paper's
+  /// footnote 1; in feedback loops these are the tokens that circulate.
+  virtual std::uint64_t initial_output(std::size_t port) const {
+    (void)port;
+    return 0;
+  }
+
+  /// One activation: reads in[0..num_inputs) and writes
+  /// out[0..num_outputs).  Called only when the shell fires, which is how
+  /// clock gating is modelled: a stalled shell never steps its pearl.
+  virtual void step(std::span<const std::uint64_t> in,
+                    std::span<std::uint64_t> out) = 0;
+
+  /// Fresh copy in the initial (reset) state.  Used by the zero-latency
+  /// reference executor to re-run the same design without shells.
+  virtual std::unique_ptr<Pearl> clone_reset() const = 0;
+};
+
+}  // namespace liplib::lip

@@ -1,0 +1,136 @@
+// liplib/pearls/pearls.hpp
+//
+// A library of ready-made pearls (functional synchronous modules) used by
+// the examples, tests and benchmark harnesses.  Pearls are deliberately
+// simple arithmetic/stream operators: the latency-insensitive machinery is
+// behaviour-agnostic, so these stand in for the IP blocks ("pearls") of a
+// real System-on-Chip exactly as the paper's proof-of-concept examples do.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "liplib/lip/pearl.hpp"
+#include "liplib/support/check.hpp"
+
+namespace liplib::pearls {
+
+/// Stateless pearl from a plain function.  `fn` maps the input datum
+/// vector to the output datum vector each firing.
+class LambdaPearl final : public lip::Pearl {
+ public:
+  using Fn = std::function<void(std::span<const std::uint64_t>,
+                                std::span<std::uint64_t>)>;
+
+  LambdaPearl(std::size_t num_in, std::size_t num_out, Fn fn,
+              std::vector<std::uint64_t> initial_outputs = {})
+      : num_in_(num_in),
+        num_out_(num_out),
+        fn_(std::move(fn)),
+        init_(std::move(initial_outputs)) {
+    LIPLIB_EXPECT(fn_ != nullptr, "LambdaPearl with empty function");
+    init_.resize(num_out_, 0);
+  }
+
+  std::size_t num_inputs() const override { return num_in_; }
+  std::size_t num_outputs() const override { return num_out_; }
+  std::uint64_t initial_output(std::size_t port) const override {
+    return init_.at(port);
+  }
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    fn_(in, out);
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<LambdaPearl>(num_in_, num_out_, fn_, init_);
+  }
+
+ private:
+  std::size_t num_in_;
+  std::size_t num_out_;
+  Fn fn_;
+  std::vector<std::uint64_t> init_;
+};
+
+/// 1-in 1-out identity: out = in.  The canonical "pipeline stage" pearl.
+std::unique_ptr<lip::Pearl> make_identity(std::uint64_t initial = 0);
+
+/// 1-in 1-out: out = in + addend.
+std::unique_ptr<lip::Pearl> make_add_const(std::uint64_t addend,
+                                           std::uint64_t initial = 0);
+
+/// 2-in 1-out: out = in0 + in1 (wrapping).
+std::unique_ptr<lip::Pearl> make_adder(std::uint64_t initial = 0);
+
+/// 2-in 1-out: out = in0 * in1 (wrapping).
+std::unique_ptr<lip::Pearl> make_multiplier(std::uint64_t initial = 0);
+
+/// 2-in 1-out: out = max(in0, in1).
+std::unique_ptr<lip::Pearl> make_max(std::uint64_t initial = 0);
+
+/// 1-in 2-out broadcast: both outputs equal the input.
+std::unique_ptr<lip::Pearl> make_fork2(std::uint64_t initial = 0);
+
+/// 1-in 1-out stateful accumulator: out = sum of all inputs so far.
+std::unique_ptr<lip::Pearl> make_accumulator(std::uint64_t initial = 0);
+
+/// 1-in 1-out delay line of `depth` activations (out = input `depth`
+/// firings ago; zero-initialized).
+std::unique_ptr<lip::Pearl> make_delay(std::size_t depth,
+                                       std::uint64_t initial = 0);
+
+/// 1-in 1-out integer FIR filter with the given taps (wrapping
+/// arithmetic): out = sum taps[i] * x[n-i].
+std::unique_ptr<lip::Pearl> make_fir(std::vector<std::uint64_t> taps,
+                                     std::uint64_t initial = 0);
+
+/// 1-in 1-out leaky integrator (IIR): y = (y * num) / den + x, integer.
+std::unique_ptr<lip::Pearl> make_leaky_integrator(std::uint64_t num,
+                                                  std::uint64_t den,
+                                                  std::uint64_t initial = 0);
+
+/// 1-in 1-out bit mixer (xorshift-multiply hash stage) — a stand-in for a
+/// complex combinational datapath block.
+std::unique_ptr<lip::Pearl> make_bit_mixer(std::uint64_t initial = 0);
+
+/// 0-in 1-out generator: emits seed, seed+stride, seed+2*stride, ...
+/// Its shell fires whenever the output channel is free.
+std::unique_ptr<lip::Pearl> make_generator(std::uint64_t seed,
+                                           std::uint64_t stride);
+
+/// 2-in 2-out butterfly: out0 = in0 + in1, out1 = in0 - in1 (wrapping);
+/// the classic FFT/CORDIC-style two-port stage.
+std::unique_ptr<lip::Pearl> make_butterfly(std::uint64_t initial0 = 0,
+                                           std::uint64_t initial1 = 0);
+
+/// 2-in 2-out CORDIC micro-rotation of index k (integer shift-add form):
+/// x' = x - (y >> k), y' = y + (x >> k).  A chain of these is the
+/// iterative rotator SoCs place at the end of long datapaths.
+std::unique_ptr<lip::Pearl> make_cordic_stage(unsigned k,
+                                              std::uint64_t initial0 = 0,
+                                              std::uint64_t initial1 = 0);
+
+/// 2-in 1-out multiply-accumulate: state += in0 * in1; out = state.
+std::unique_ptr<lip::Pearl> make_mac(std::uint64_t initial = 0);
+
+/// 1-in 1-out saturating clamp to [0, cap].
+std::unique_ptr<lip::Pearl> make_saturate(std::uint64_t cap,
+                                          std::uint64_t initial = 0);
+
+/// 1-in 1-out decimating tagger: out = in | (firing index << 56) — makes
+/// reordering and duplication visible in long property tests.
+std::unique_ptr<lip::Pearl> make_sequence_tagger(std::uint64_t initial = 0);
+
+/// Names accepted by make_by_name(), for randomized property tests.
+/// Only 1-in 1-out pearls are listed so any topology shape can use them.
+const std::vector<std::string>& unary_pearl_names();
+
+/// Factory by name; `salt` perturbs constants so two instances differ.
+std::unique_ptr<lip::Pearl> make_by_name(const std::string& name,
+                                         std::uint64_t salt);
+
+}  // namespace liplib::pearls

@@ -1,0 +1,41 @@
+// liplib/pearls/video.hpp
+//
+// Block-based "video codec" pearls: an integer 8-point transform,
+// a quantizer and a run-length packer, each consuming and producing one
+// sample per firing (block state is internal).  Together with the stream
+// pearls these build the media-pipeline example (examples/video_pipeline)
+// — the kind of SoC dataflow whose long interconnects motivated the
+// paper.  All arithmetic is integer and deterministic, so the zero-
+// latency reference executor reproduces it exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "liplib/lip/pearl.hpp"
+
+namespace liplib::pearls {
+
+/// 1-in 1-out 8-point integer Walsh-Hadamard-style transform: buffers 8
+/// samples, then emits the 8 transform coefficients over the next 8
+/// firings while buffering the next block (fully pipelined at one sample
+/// per firing; the first 8 outputs are zeros while the pipe fills).
+std::unique_ptr<lip::Pearl> make_block_transform8(std::uint64_t initial = 0);
+
+/// 1-in 1-out dead-zone quantizer: out = in / q (integer), q >= 1.
+std::unique_ptr<lip::Pearl> make_quantizer(std::uint64_t q,
+                                           std::uint64_t initial = 0);
+
+/// 1-in 1-out zero run-length packer: replaces runs of zeros with a
+/// single word 0xZZ00000000000000 | run_length at the run's end, and
+/// passes nonzero samples through with a tag bit.  One output per input
+/// (the packer emits a placeholder word mid-run), so it composes with
+/// the one-token-per-firing shell contract.
+std::unique_ptr<lip::Pearl> make_rle_marker(std::uint64_t initial = 0);
+
+/// 2-in 1-out alpha blender: out = (a*w + b*(256-w))/256 with constant w.
+std::unique_ptr<lip::Pearl> make_blender(std::uint64_t w,
+                                         std::uint64_t initial = 0);
+
+}  // namespace liplib::pearls

@@ -1,0 +1,91 @@
+// liplib/rtl/rtl_system.hpp
+//
+// RTL-level elaboration of a latency-insensitive design onto the
+// event-driven simulation kernel (liplib/sim) — the counterpart of the
+// paper's VHDL implementation of shells and relay stations validated with
+// an event-driven simulator.
+//
+// Every block is written as it would be in RTL:
+//   - clocked processes sample their inputs on the rising clock edge and
+//     drive registered outputs (data/valid of every block; the stop of a
+//     full relay station);
+//   - combinational processes drive the stop-transparent paths (shell
+//     back pressure, half relay station stop gating) and settle through
+//     delta cycles.
+// A half relay station inside a loop therefore creates a *combinational
+// cycle* on the stop wires; when the token dynamics actually excite it,
+// the kernel's delta-cycle limit trips — the event-driven analogue of the
+// paper's potential deadlock (a latch on the stop ring).
+//
+// The cycle-accurate lip::System and this RTL elaboration are locked
+// together by the test suite (identical sink traces and fire counts under
+// both stop policies), reproducing the paper's cross-validation between
+// the RTL description and the protocol-level analysis.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "liplib/graph/topology.hpp"
+#include "liplib/lip/environment.hpp"
+#include "liplib/lip/pearl.hpp"
+#include "liplib/lip/token.hpp"
+#include "liplib/sim/kernel.hpp"
+
+namespace liplib::rtl {
+
+/// Options for RTL elaboration.
+struct RtlOptions {
+  lip::StopPolicy policy = lip::StopPolicy::kCasuDiscardOnVoid;
+};
+
+/// An elaborated RTL netlist of a latency-insensitive design.
+class RtlSystem {
+ public:
+  explicit RtlSystem(const graph::Topology& topo, RtlOptions opts = {});
+  ~RtlSystem();
+
+  RtlSystem(const RtlSystem&) = delete;
+  RtlSystem& operator=(const RtlSystem&) = delete;
+
+  /// Binds the functional pearl of a process node (arity must match).
+  void bind_pearl(graph::NodeId node, std::unique_ptr<lip::Pearl> pearl);
+
+  /// Binds a source behaviour (default: counter stream, always ready).
+  void bind_source(graph::NodeId node, lip::SourceBehavior behavior);
+
+  /// Binds a sink behaviour (default: greedy).
+  void bind_sink(graph::NodeId node, lip::SinkBehavior behavior);
+
+  /// Simulates `n` clock cycles (two kernel time units each).
+  void run_cycles(std::uint64_t n);
+
+  std::uint64_t cycles_run() const { return cycles_; }
+
+  /// Valid tokens consumed by a sink, in order.
+  const std::vector<lip::Token>& sink_stream(graph::NodeId sink) const;
+
+  /// Per-cycle presented tokens at a sink (void when invalid).
+  const std::vector<lip::Token>& sink_cycle_trace(graph::NodeId sink) const;
+
+  /// Firings of a shell so far.
+  std::uint64_t shell_fire_count(graph::NodeId shell) const;
+
+  /// Streams the protocol-visible waveform (clock plus the valid/data/
+  /// stop wires of every channel hop) into `os` as an IEEE-1364 VCD dump,
+  /// viewable with GTKWave.  Must be called before the first
+  /// run_cycles(); `os` must outlive the system.
+  void attach_vcd(std::ostream& os);
+
+  /// The underlying kernel (e.g. to inspect delta statistics).
+  sim::SimContext& context();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace liplib::rtl

@@ -1,0 +1,221 @@
+// liplib/sim/kernel.hpp
+//
+// A small event-driven simulation kernel with VHDL-style semantics:
+// signals, processes with sensitivity lists, delta cycles and scheduled
+// (transport-delay) assignments.  The paper validated its protocol with a
+// VHDL description of all blocks run on an event-driven simulator; this
+// kernel plays that role so the RTL models in liplib/rtl can be simulated
+// at the same abstraction level.
+//
+// Semantics:
+//  - Signal<T>::write(v) is a non-blocking assignment: it takes effect at
+//    the next delta cycle of the current simulation time.
+//  - Signal<T>::write_after(v, d) schedules the assignment d time units
+//    in the future (transport delay, last write at a given time wins).
+//  - A Process runs when any signal in its sensitivity list changes value,
+//    and once at elaboration (time 0, before any delta), like a VHDL
+//    process executing up to its first wait.
+//  - Time only advances when no delta activity is pending.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liplib/support/check.hpp"
+
+namespace liplib::sim {
+
+class SimContext;
+
+/// Simulation timestamp in abstract time units (the RTL models use one
+/// unit per clock phase).
+using Time = std::uint64_t;
+
+/// Type-erased base of all signals; owned by a SimContext.
+class SignalBase {
+ public:
+  SignalBase(SimContext& ctx, std::string name);
+  virtual ~SignalBase() = default;
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// True when the signal changed value in the delta cycle whose events
+  /// are currently being serviced (VHDL 'event).
+  bool event() const;
+
+ protected:
+  friend class SimContext;
+
+  /// Applies the pending write, if any.  Returns true when the visible
+  /// value changed.
+  virtual bool apply_pending() = 0;
+
+  void register_pending();
+
+  SimContext& ctx_;
+  std::string name_;
+  std::uint64_t change_stamp_ = 0;  // delta stamp of last value change
+  bool in_pending_list_ = false;
+};
+
+/// A typed signal.  Reads return the current (settled) value; writes are
+/// deferred to the next delta cycle.
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  Signal(SimContext& ctx, std::string name, T initial)
+      : SignalBase(ctx, std::move(name)), value_(std::move(initial)) {}
+
+  /// Current value as of the last completed delta cycle.
+  const T& read() const { return value_; }
+
+  /// Schedules `v` for the next delta cycle.  The last write in a delta
+  /// wins, matching VHDL signal assignment.
+  void write(T v) {
+    pending_ = std::move(v);
+    register_pending();
+  }
+
+  /// Schedules `v` at now + delay (transport delay).
+  void write_after(T v, Time delay);
+
+  /// 'event and new value is true — valid for bool-like signals.
+  bool posedge() const { return this->event() && static_cast<bool>(value_); }
+
+  /// 'event and new value is false.
+  bool negedge() const { return this->event() && !static_cast<bool>(value_); }
+
+ private:
+  bool apply_pending() override {
+    if (!pending_) return false;
+    T v = std::move(*pending_);
+    pending_.reset();
+    if (v == value_) return false;
+    value_ = std::move(v);
+    return true;
+  }
+
+  T value_;
+  std::optional<T> pending_;
+};
+
+/// A simulation process: a callback plus a sensitivity list.
+class Process {
+ public:
+  Process(std::string name, std::function<void()> body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class SimContext;
+  std::string name_;
+  std::function<void()> body_;
+  std::vector<const SignalBase*> sensitivity_;
+  std::uint64_t wake_stamp_ = 0;  // last delta stamp this process ran in
+};
+
+/// Owns signals and processes and advances simulated time.
+class SimContext {
+ public:
+  SimContext() = default;
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  /// Creates a signal with an initial value.  The reference stays valid
+  /// for the lifetime of the context.
+  template <typename T>
+  Signal<T>& signal(std::string name, T initial) {
+    auto s = std::make_unique<Signal<T>>(*this, std::move(name),
+                                         std::move(initial));
+    Signal<T>& ref = *s;
+    signals_.push_back(std::move(s));
+    return ref;
+  }
+
+  /// Creates a process.  `body` runs once at elaboration and then on every
+  /// event of a signal it is sensitized to.
+  Process& process(std::string name, std::function<void()> body);
+
+  /// Adds `sig` to the sensitivity list of `proc`.
+  void sensitize(Process& proc, const SignalBase& sig);
+
+  /// Registers a callback invoked after `sig` settles to a new value
+  /// (used for waveform tracing).
+  void on_change(const SignalBase& sig, std::function<void()> hook);
+
+  /// Runs elaboration (if not yet done) and all activity up to and
+  /// including time `t_end`.
+  void run_until(Time t_end);
+
+  /// Runs elaboration plus `n` further discrete time points that have
+  /// scheduled activity.  Returns the last time serviced.
+  Time run_steps(std::uint64_t n);
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// True if any future (non-delta) event is scheduled.
+  bool has_future_events() const { return !calendar_.empty(); }
+
+  /// Number of delta cycles executed so far (diagnostic).
+  std::uint64_t delta_count() const { return delta_stamp_; }
+
+  /// Aborts with InternalError when one time point needs more than this
+  /// many delta cycles — catches combinational oscillation in models.
+  void set_delta_limit(std::uint64_t limit) { delta_limit_ = limit; }
+
+ private:
+  friend class SignalBase;
+  template <typename T>
+  friend class Signal;
+
+  void schedule_at(Time t, std::function<void()> load_pending);
+  void add_pending(SignalBase& sig) { pending_signals_.push_back(&sig); }
+  void elaborate();
+  void service_current_time();
+
+  std::vector<std::unique_ptr<SignalBase>> signals_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::multimap<Time, std::function<void()>> calendar_;
+  std::vector<SignalBase*> pending_signals_;
+  std::multimap<const SignalBase*, Process*> sensitivity_;
+  std::multimap<const SignalBase*, std::function<void()>> change_hooks_;
+  Time now_ = 0;
+  std::uint64_t delta_stamp_ = 0;   // global, strictly increasing
+  std::uint64_t service_stamp_ = 0; // stamp of delta being serviced
+  std::uint64_t delta_limit_ = 100000;
+  bool elaborated_ = false;
+};
+
+template <typename T>
+void Signal<T>::write_after(T v, Time delay) {
+  ctx_.schedule_at(ctx_.now() + delay, [this, v = std::move(v)]() {
+    pending_ = v;
+    register_pending();
+  });
+}
+
+/// Free-running clock helper: drives a bool signal with a 50% duty cycle,
+/// first rising edge at `phase` time units, then every `half_period` units.
+class Clock {
+ public:
+  Clock(SimContext& ctx, std::string name, Time half_period, Time phase = 1);
+
+  Signal<bool>& signal() { return clk_; }
+  const Signal<bool>& signal() const { return clk_; }
+
+ private:
+  Signal<bool>& clk_;
+};
+
+}  // namespace liplib::sim

@@ -1,0 +1,79 @@
+// liplib/support/check.hpp
+//
+// Precondition / invariant checking for liplib.
+//
+// The library distinguishes three failure classes:
+//  - ApiError:      the caller violated a documented precondition of the
+//                   public API (e.g. connected a channel twice).
+//  - ProtocolError: a simulated environment violated a latency-insensitive
+//                   protocol assumption (e.g. changed a datum while its stop
+//                   was asserted).  These are raised by runtime monitors.
+//  - InternalError: a liplib invariant broke; always a bug in liplib.
+//
+// All three derive from std::logic_error / std::runtime_error so user code
+// can catch broadly.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace liplib {
+
+/// Thrown when a caller violates a documented precondition of the API.
+class ApiError : public std::logic_error {
+ public:
+  explicit ApiError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown by runtime monitors when a simulated environment or block
+/// violates a latency-insensitive protocol assumption.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant of liplib breaks (a liplib bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_api_error(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "API precondition failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ApiError(os.str());
+}
+
+[[noreturn]] inline void throw_internal_error(const char* cond,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace liplib
+
+/// Check a documented precondition of a public API entry point.
+#define LIPLIB_EXPECT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::liplib::detail::throw_api_error(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+/// Check an internal invariant; failure is a liplib bug.
+#define LIPLIB_ENSURE(cond, msg)                                               \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::liplib::detail::throw_internal_error(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                          \
+  } while (false)

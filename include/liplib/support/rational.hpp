@@ -1,0 +1,94 @@
+// liplib/support/rational.hpp
+//
+// Exact rational arithmetic.  Throughputs in latency-insensitive design are
+// exact fractions — S/(S+R) for a loop, (m−i)/m for reconvergent paths — so
+// the analysis code compares them exactly instead of through doubles.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "liplib/support/check.hpp"
+
+namespace liplib {
+
+/// An exact rational number with value-type semantics.  Always stored in
+/// lowest terms with a positive denominator.  The magnitudes that occur in
+/// throughput analysis (numerators/denominators bounded by system register
+/// counts) are far below overflow range.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// num / den, reduced.  den must be nonzero.
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    LIPLIB_EXPECT(den != 0, "rational with zero denominator");
+    normalize();
+  }
+
+  /// Whole number.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Renders "num/den", or just "num" when the denominator is 1.
+  std::string str() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.num_, a.den_ * b.den_);
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    LIPLIB_EXPECT(b.num_ != 0, "rational division by zero");
+    return Rational(a.num_ * b.den_, a.den_ * b.num_);
+  }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b) {
+    return a.num_ * b.den_ <=> b.num_ * a.den_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    return os << r.str();
+  }
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace liplib

@@ -1,0 +1,98 @@
+// liplib/support/table.hpp
+//
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables and figure series in a uniform, diffable format.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace liplib {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+///
+///   Table t({"S", "R", "T analytic", "T measured"});
+///   t.add_row({"2", "3", "2/5", "2/5"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one row.  Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders RFC-4180-style CSV (quotes cells containing comma, quote or
+  /// newline), one header row then the data rows — for piping bench
+  /// tables into plotting tools.
+  void print_csv(std::ostream& os) const {
+    print_csv_row(os, header_);
+    for (const auto& row : rows_) print_csv_row(os, row);
+  }
+
+  /// Renders the table with a header rule, two-space column gaps.
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    print_row(os, header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c) rule += "  ";
+      rule.append(width[c], '-');
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) print_row(os, row, width);
+  }
+
+ private:
+  static void print_csv_row(std::ostream& os,
+                            const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += "  ";
+      line += row[c];
+      if (row[c].size() < width[c]) line.append(width[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    os << line << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace liplib

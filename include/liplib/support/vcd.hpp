@@ -1,0 +1,63 @@
+// liplib/support/vcd.hpp
+//
+// Minimal IEEE-1364 VCD (value change dump) writer.  Both simulators can
+// trace valid/stop/data signals into a waveform viewable with GTKWave;
+// the skeleton simulator uses it to visualize void/stop propagation, which
+// is how the evolution pictures of the paper (Fig. 1 / Fig. 2) were drawn.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace liplib {
+
+/// Streams a VCD file.  Usage:
+///   VcdWriter vcd(os, "liplib");
+///   auto v = vcd.add_signal("shell_A.valid", 1);
+///   vcd.begin_dump();
+///   vcd.set_time(0); vcd.change(v, 1);
+class VcdWriter {
+ public:
+  /// Opaque handle to a declared signal.
+  using SignalId = std::size_t;
+
+  /// Writes the VCD header into `os` with all signals under one scope.
+  /// The stream must outlive the writer.
+  VcdWriter(std::ostream& os, std::string scope_name);
+
+  /// Declares a signal of the given bit width.  Must be called before
+  /// begin_dump().
+  SignalId add_signal(const std::string& name, unsigned width);
+
+  /// Closes the declaration section and emits initial 'x' values.
+  void begin_dump();
+
+  /// Advances simulation time (monotone).  Idempotent per timestamp.
+  void set_time(std::uint64_t t);
+
+  /// Records a value change; values are truncated to the declared width.
+  void change(SignalId id, std::uint64_t value);
+
+ private:
+  struct Signal {
+    std::string code;
+    unsigned width = 1;
+    std::uint64_t last = ~0ull;
+    bool has_last = false;
+  };
+
+  static std::string id_code(std::size_t index);
+  void emit(const Signal& s, std::uint64_t value);
+
+  std::ostream& os_;
+  std::string scope_;
+  std::vector<Signal> signals_;
+  bool dumping_ = false;
+  std::uint64_t time_ = 0;
+  bool time_written_ = false;
+};
+
+}  // namespace liplib

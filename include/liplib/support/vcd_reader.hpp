@@ -1,0 +1,60 @@
+// liplib/support/vcd_reader.hpp
+//
+// Minimal VCD (value change dump) reader: the inverse of VcdWriter, used
+// to post-process dumped waveforms — e.g. re-checking the protocol's
+// hold-on-stop invariant directly on the waves a run produced, the way a
+// verification engineer would eyeball them in GTKWave.
+//
+// Supports the subset VcdWriter emits (plus common variants): $var wire
+// declarations, #timestamps, scalar changes `0!`/`1!`/`x!` and vector
+// changes `b1010 !`.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace liplib {
+
+/// A parsed VCD file.
+class VcdDump {
+ public:
+  /// One recorded change; `value` is nullopt for 'x' (unknown).
+  struct Change {
+    std::uint64_t time = 0;
+    std::optional<std::uint64_t> value;
+  };
+
+  /// Parses a dump; throws ApiError on malformed input.
+  static VcdDump parse(std::istream& in);
+  static VcdDump parse_string(const std::string& text);
+
+  /// Declared signal names (fully scoped as "scope.name").
+  std::vector<std::string> signal_names() const;
+
+  /// True if a signal of this name was declared.
+  bool has_signal(const std::string& name) const;
+
+  /// The change list of a signal (ascending time).
+  const std::vector<Change>& changes(const std::string& name) const;
+
+  /// The value of a signal as of time `t` (last change at or before t);
+  /// nullopt when unknown ('x' or never driven).
+  std::optional<std::uint64_t> value_at(const std::string& name,
+                                        std::uint64_t t) const;
+
+  /// Largest timestamp seen.
+  std::uint64_t end_time() const { return end_time_; }
+
+ private:
+  std::map<std::string, std::size_t> by_name_;   // name -> signal index
+  std::map<std::string, std::size_t> by_code_;   // id code -> signal index
+  std::vector<std::vector<Change>> changes_;
+  std::uint64_t end_time_ = 0;
+};
+
+}  // namespace liplib

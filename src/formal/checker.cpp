@@ -1,0 +1,69 @@
+#include "liplib/formal/checker.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace liplib::formal {
+
+CheckResult check_safety(const Model& model, std::uint64_t max_states) {
+  CheckResult result;
+
+  struct Parent {
+    std::string state;   // predecessor state ("" for the initial state)
+    std::string choice;  // environment choice taken from the predecessor
+  };
+  std::unordered_map<std::string, Parent> visited;
+  std::deque<std::string> frontier;
+
+  const std::string init = model.initial();
+  visited.emplace(init, Parent{});
+  frontier.push_back(init);
+
+  auto build_trace = [&](const std::string& last, const std::string& choice,
+                         const std::string& violation) {
+    result.ok = false;
+    result.violation = violation;
+    // Walk parents back to the initial state.
+    std::vector<std::string> rev;
+    rev.push_back("VIOLATION after choice [" + choice + "]: " + violation);
+    std::string cur = last;
+    while (true) {
+      auto it = visited.find(cur);
+      rev.push_back(model.describe(cur));
+      if (it->second.state.empty() && cur == init) break;
+      rev.push_back("  choice [" + it->second.choice + "]");
+      cur = it->second.state;
+    }
+    result.trace.assign(rev.rbegin(), rev.rend());
+  };
+
+  while (!frontier.empty()) {
+    const std::string state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states_explored;
+
+    for (const Succ& succ : model.successors(state)) {
+      ++result.transitions;
+      if (succ.violation) {
+        build_trace(state, succ.choice, *succ.violation);
+        return result;
+      }
+      if (visited.size() >= max_states) {
+        // Keep exploring already-found states but stop adding new ones;
+        // if the frontier drains we did not close the state space.
+        if (!visited.contains(succ.state)) result.exhausted_budget = true;
+        continue;
+      }
+      auto [it, inserted] = visited.emplace(succ.state, Parent{state, succ.choice});
+      if (inserted) frontier.push_back(succ.state);
+    }
+  }
+
+  result.ok = !result.exhausted_budget;
+  if (result.exhausted_budget) {
+    result.violation = "state budget exhausted before closing the space";
+  }
+  return result;
+}
+
+}  // namespace liplib::formal

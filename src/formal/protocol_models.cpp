@@ -1,0 +1,658 @@
+#include "liplib/formal/protocol_models.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "liplib/support/check.hpp"
+
+namespace liplib::formal {
+
+namespace {
+
+using graph::RsKind;
+using lip::StopPolicy;
+
+/// A tagged token: tags stand for data (data independence), voids have
+/// valid == false.
+struct Tok {
+  bool valid = false;
+  std::uint8_t tag = 0;
+};
+
+// ---------------------------------------------------------------------
+// Relay station FSM (mirrors lip::System station semantics on tags).
+// ---------------------------------------------------------------------
+
+struct RsSt {
+  std::uint8_t occ = 0;
+  Tok s0, s1;
+  bool stop_reg = false;
+};
+
+Tok rs_present(const RsSt& st) { return st.occ ? st.s0 : Tok{}; }
+
+bool rs_stop_up(const RsSt& st, RsKind kind, bool strictp, bool stop_in) {
+  if (kind == RsKind::kFull) return st.stop_reg;
+  const bool front_valid = st.occ > 0 && st.s0.valid;
+  const bool s_eff = strictp ? stop_in : (stop_in && front_valid);
+  return st.occ > 0 && s_eff;
+}
+
+void rs_edge(RsSt& st, RsKind kind, bool strictp, Tok in, bool stop_in,
+             std::optional<std::string>& violation) {
+  const bool front_valid = st.occ > 0 && st.s0.valid;
+  const bool s_eff = strictp ? stop_in : (stop_in && front_valid);
+  const bool consumed = st.occ > 0 && !s_eff;
+  if (kind == RsKind::kFull) {
+    const bool accept = !st.stop_reg && (strictp || in.valid);
+    if (consumed) {
+      st.s0 = st.s1;
+      st.s1 = {};
+      --st.occ;
+    }
+    if (accept) {
+      if (st.occ >= 2) {
+        violation = "full relay station overflow (datum lost)";
+        return;
+      }
+      (st.occ == 0 ? st.s0 : st.s1) = in;
+      ++st.occ;
+    }
+    st.stop_reg = st.occ == 2;
+  } else {
+    const bool stop_up = st.occ > 0 && s_eff;
+    const bool accept = !stop_up && (strictp || in.valid);
+    if (consumed) {
+      st.occ = 0;
+      st.s0 = {};
+    }
+    if (accept) {
+      if (st.occ) {
+        violation = "half relay station overflow (datum lost)";
+        return;
+      }
+      st.s0 = in;
+      st.occ = 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Environment: a producer of consecutive tags honoring hold-on-stop.
+// ---------------------------------------------------------------------
+
+struct EnvSt {
+  bool presenting = false;
+  std::uint8_t tag = 0;   // offered tag when presenting
+  std::uint8_t next = 0;  // tag of the next datum to offer
+};
+
+Tok env_present(const EnvSt& e) { return {e.presenting, e.tag}; }
+
+/// Successor environment states after a cycle in which the environment
+/// saw `stop_up` on its output.  A held datum admits exactly one
+/// successor; otherwise the environment may idle or offer the next tag.
+void env_next(const EnvSt& e, bool stop_up, unsigned mod,
+              std::vector<EnvSt>& out) {
+  out.clear();
+  if (e.presenting && stop_up) {
+    out.push_back(e);  // environment assumption: hold on stop
+    return;
+  }
+  EnvSt idle;
+  idle.next = e.next;
+  out.push_back(idle);
+  EnvSt pres;
+  pres.presenting = true;
+  pres.tag = e.next;
+  pres.next = static_cast<std::uint8_t>((e.next + 1) % mod);
+  out.push_back(pres);
+}
+
+// ---------------------------------------------------------------------
+// Monitor: in-order / no-skip / no-duplicate / hold-on-stop observer.
+// ---------------------------------------------------------------------
+
+struct MonSt {
+  std::uint8_t expected = 0;
+  bool prev_valid = false;
+  bool prev_stop = false;
+  std::uint8_t prev_tag = 0;
+};
+
+void mon_check(MonSt& m, Tok out, bool stop_in, unsigned mod,
+               std::optional<std::string>& violation) {
+  if (m.prev_valid && m.prev_stop) {
+    if (!out.valid || out.tag != m.prev_tag) {
+      violation = "output not kept on asserted stop";
+      return;
+    }
+  }
+  if (out.valid && !stop_in) {
+    if (out.tag != m.expected) {
+      std::ostringstream os;
+      os << "output order violated: got tag " << int(out.tag)
+         << ", expected " << int(m.expected)
+         << " (skip, duplicate or reorder)";
+      violation = os.str();
+      return;
+    }
+    m.expected = static_cast<std::uint8_t>((m.expected + 1) % mod);
+  }
+  m.prev_valid = out.valid;
+  m.prev_stop = stop_in;
+  m.prev_tag = out.tag;
+}
+
+// Byte-string encoding helpers.
+void put(std::string& s, std::uint8_t b) { s.push_back(static_cast<char>(b)); }
+std::uint8_t get(const std::string& s, std::size_t& i) {
+  return static_cast<std::uint8_t>(s.at(i++));
+}
+void put_tok(std::string& s, const Tok& t) {
+  put(s, t.valid ? 1 : 0);
+  put(s, t.valid ? t.tag : 0);
+}
+Tok get_tok(const std::string& s, std::size_t& i) {
+  Tok t;
+  t.valid = get(s, i) != 0;
+  t.tag = get(s, i);
+  return t;
+}
+void put_env(std::string& s, const EnvSt& e) {
+  put(s, e.presenting ? 1 : 0);
+  put(s, e.presenting ? e.tag : 0);
+  put(s, e.next);
+}
+EnvSt get_env(const std::string& s, std::size_t& i) {
+  EnvSt e;
+  e.presenting = get(s, i) != 0;
+  e.tag = get(s, i);
+  e.next = get(s, i);
+  return e;
+}
+void put_mon(std::string& s, const MonSt& m) {
+  put(s, m.expected);
+  put(s, m.prev_valid ? 1 : 0);
+  put(s, m.prev_stop ? 1 : 0);
+  put(s, m.prev_valid ? m.prev_tag : 0);
+}
+MonSt get_mon(const std::string& s, std::size_t& i) {
+  MonSt m;
+  m.expected = get(s, i);
+  m.prev_valid = get(s, i) != 0;
+  m.prev_stop = get(s, i) != 0;
+  m.prev_tag = get(s, i);
+  return m;
+}
+void put_rs(std::string& s, const RsSt& r) {
+  put(s, r.occ);
+  put_tok(s, r.occ > 0 ? r.s0 : Tok{});
+  put_tok(s, r.occ > 1 ? r.s1 : Tok{});
+  put(s, r.stop_reg ? 1 : 0);
+}
+RsSt get_rs(const std::string& s, std::size_t& i) {
+  RsSt r;
+  r.occ = get(s, i);
+  r.s0 = get_tok(s, i);
+  r.s1 = get_tok(s, i);
+  r.stop_reg = get(s, i) != 0;
+  return r;
+}
+
+// Encodes a slot token that may itself be a stored void: the token's
+// valid flag distinguishes data from voids, occupancy distinguishes
+// presence.  put_tok above normalizes tags of voids to 0, keeping the
+// encoding canonical.
+
+// ---------------------------------------------------------------------
+// Relay station model.
+// ---------------------------------------------------------------------
+
+class RelayModel final : public Model {
+ public:
+  RelayModel(RsKind kind, StopPolicy policy, unsigned mod)
+      : kind_(kind), strict_(policy == StopPolicy::kCarloniStrict),
+        mod_(mod) {
+    LIPLIB_EXPECT(mod >= 4, "tag_mod must cover the in-flight window");
+  }
+
+  std::string initial() const override {
+    std::string s;
+    RsSt rs;
+    if (strict_) {
+      rs.occ = 1;  // the initial void is a token under the strict policy
+    }
+    put_rs(s, rs);
+    put_env(s, EnvSt{});
+    put_mon(s, MonSt{});
+    return s;
+  }
+
+  std::vector<Succ> successors(const std::string& state) const override {
+    std::size_t i = 0;
+    const RsSt rs = get_rs(state, i);
+    const EnvSt env = get_env(state, i);
+    const MonSt mon = get_mon(state, i);
+
+    std::vector<Succ> succs;
+    std::vector<EnvSt> env2s;
+    for (int stop_in = 0; stop_in <= 1; ++stop_in) {
+      const Tok v_in = env_present(env);
+      const Tok v_out = rs_present(rs);
+      const bool stop_up = rs_stop_up(rs, kind_, strict_, stop_in != 0);
+
+      std::optional<std::string> violation;
+      MonSt mon2 = mon;
+      mon_check(mon2, v_out, stop_in != 0, mod_, violation);
+      RsSt rs2 = rs;
+      if (!violation) {
+        rs_edge(rs2, kind_, strict_, v_in, stop_in != 0, violation);
+      }
+      env_next(env, stop_up, mod_, env2s);
+      for (const EnvSt& env2 : env2s) {
+        Succ succ;
+        std::ostringstream choice;
+        choice << "stop=" << stop_in << ",env="
+               << (env2.presenting ? "offer" : "idle");
+        succ.choice = choice.str();
+        succ.violation = violation;
+        std::string ns;
+        put_rs(ns, rs2);
+        put_env(ns, env2);
+        put_mon(ns, mon2);
+        succ.state = std::move(ns);
+        succs.push_back(std::move(succ));
+      }
+    }
+    return succs;
+  }
+
+ private:
+  RsKind kind_;
+  bool strict_;
+  unsigned mod_;
+};
+
+// ---------------------------------------------------------------------
+// Shell model: N tagged input streams, one output port with B branches.
+// ---------------------------------------------------------------------
+
+class ShellModel final : public Model {
+ public:
+  ShellModel(unsigned num_inputs, unsigned num_branches, StopPolicy policy,
+             unsigned mod)
+      : n_(num_inputs), b_(num_branches),
+        strict_(policy == StopPolicy::kCarloniStrict), mod_(mod) {
+    LIPLIB_EXPECT(n_ >= 1 && n_ <= 2, "shell model supports 1 or 2 inputs");
+    LIPLIB_EXPECT(b_ >= 1 && b_ <= 2,
+                  "shell model supports 1 or 2 fanout branches");
+    LIPLIB_EXPECT(mod >= 4, "tag_mod must cover the in-flight window");
+    n_ = n_ > 2 ? 2 : n_;  // give the optimizer the bound the checks prove
+    b_ = b_ > 2 ? 2 : b_;
+  }
+
+  std::string initial() const override {
+    std::string s;
+    put(s, static_cast<std::uint8_t>(mod_ - 1));  // reg tag (init valid)
+    put(s, static_cast<std::uint8_t>((1u << b_) - 1));  // pend mask
+    for (unsigned i = 0; i < n_; ++i) put_env(s, EnvSt{});
+    for (unsigned k = 0; k < b_; ++k) {
+      MonSt m;
+      m.expected = static_cast<std::uint8_t>(mod_ - 1);
+      put_mon(s, m);
+    }
+    return s;
+  }
+
+  std::vector<Succ> successors(const std::string& state) const override {
+    std::size_t i = 0;
+    const std::uint8_t reg = get(state, i);
+    const std::uint8_t pend = get(state, i);
+    EnvSt env[2];
+    for (unsigned k = 0; k < n_; ++k) env[k] = get_env(state, i);
+    MonSt mon[2];
+    for (unsigned k = 0; k < b_; ++k) mon[k] = get_mon(state, i);
+
+    std::vector<Succ> succs;
+    std::vector<EnvSt> env2s[2];
+    for (std::uint8_t stops = 0; stops < (1u << b_); ++stops) {
+      Tok v_in[2];
+      for (unsigned k = 0; k < n_; ++k) v_in[k] = env_present(env[k]);
+
+      bool can_fire = true;
+      for (unsigned k = 0; k < n_; ++k) {
+        if (!v_in[k].valid) can_fire = false;
+      }
+      for (unsigned k = 0; k < b_; ++k) {
+        const bool stopped = (stops >> k) & 1u;
+        const bool pending = (pend >> k) & 1u;
+        if (strict_ ? stopped : (stopped && pending)) can_fire = false;
+      }
+      bool stop_to_in[2] = {false, false};
+      for (unsigned k = 0; k < n_; ++k) {
+        stop_to_in[k] = !can_fire && v_in[k].valid;
+      }
+
+      std::optional<std::string> violation;
+      MonSt mon2[2];
+      for (unsigned k = 0; k < b_; ++k) {
+        mon2[k] = mon[k];
+        const Tok out{((pend >> k) & 1u) != 0, reg};
+        if (!violation) {
+          mon_check(mon2[k], out, ((stops >> k) & 1u) != 0, mod_, violation);
+        }
+      }
+      // Coherence: the k-th tokens of all input streams are consumed
+      // together, so their tags must match at every firing.
+      if (!violation && can_fire && n_ == 2 &&
+          v_in[0].tag != v_in[1].tag) {
+        violation = "incoherent inputs consumed together";
+      }
+
+      // Edge.
+      std::uint8_t pend2 = pend;
+      for (unsigned k = 0; k < b_; ++k) {
+        if (((pend2 >> k) & 1u) && !((stops >> k) & 1u)) {
+          pend2 = static_cast<std::uint8_t>(pend2 & ~(1u << k));
+        }
+      }
+      std::uint8_t reg2 = reg;
+      if (!violation && can_fire) {
+        if (pend2 != 0) {
+          violation = "shell fired with undelivered output";
+        } else {
+          reg2 = v_in[0].tag;  // identity / first-projection pearl
+          pend2 = static_cast<std::uint8_t>((1u << b_) - 1);
+        }
+      }
+
+      for (unsigned k = 0; k < n_; ++k) {
+        env_next(env[k], stop_to_in[k], mod_, env2s[k]);
+      }
+      // Product over environment choices.
+      for (std::size_t a = 0; a < env2s[0].size(); ++a) {
+        const std::size_t b_count = (n_ == 2) ? env2s[1].size() : 1;
+        for (std::size_t bb = 0; bb < b_count; ++bb) {
+          Succ succ;
+          std::ostringstream choice;
+          choice << "stops=" << int(stops) << ",env0="
+                 << (env2s[0][a].presenting ? "offer" : "idle");
+          if (n_ == 2) {
+            choice << ",env1=" << (env2s[1][bb].presenting ? "offer" : "idle");
+          }
+          succ.choice = choice.str();
+          succ.violation = violation;
+          std::string ns;
+          put(ns, reg2);
+          put(ns, pend2);
+          put_env(ns, env2s[0][a]);
+          if (n_ == 2) put_env(ns, env2s[1][bb]);
+          for (unsigned k = 0; k < b_; ++k) put_mon(ns, mon2[k]);
+          succ.state = std::move(ns);
+          succs.push_back(std::move(succ));
+        }
+      }
+    }
+    return succs;
+  }
+
+ private:
+  unsigned n_;
+  unsigned b_;
+  bool strict_;
+  unsigned mod_;
+};
+
+// ---------------------------------------------------------------------
+// Chain model: env → shell A → relay station → shell B → consumer.
+// ---------------------------------------------------------------------
+
+class ChainModel final : public Model {
+ public:
+  ChainModel(RsKind kind, StopPolicy policy, unsigned mod)
+      : kind_(kind), strict_(policy == StopPolicy::kCarloniStrict),
+        mod_(mod) {
+    LIPLIB_EXPECT(mod >= 6, "chain in-flight window needs tag_mod >= 6");
+  }
+
+  std::string initial() const override {
+    std::string s;
+    put_env(s, EnvSt{});
+    put(s, static_cast<std::uint8_t>(mod_ - 1));  // reg A
+    put(s, 1);                                    // pend A
+    RsSt rs;
+    if (strict_) rs.occ = 1;
+    put_rs(s, rs);
+    put(s, static_cast<std::uint8_t>(mod_ - 2));  // reg B
+    put(s, 1);                                    // pend B
+    MonSt mon;
+    mon.expected = static_cast<std::uint8_t>(mod_ - 2);
+    put_mon(s, mon);
+    return s;
+  }
+
+  std::vector<Succ> successors(const std::string& state) const override {
+    std::size_t i = 0;
+    EnvSt src = get_env(state, i);
+    const std::uint8_t reg_a = get(state, i);
+    const std::uint8_t pend_a = get(state, i);
+    const RsSt rs = get_rs(state, i);
+    const std::uint8_t reg_b = get(state, i);
+    const std::uint8_t pend_b = get(state, i);
+    const MonSt mon = get_mon(state, i);
+
+    std::vector<Succ> succs;
+    std::vector<EnvSt> src2s;
+    for (int cstop = 0; cstop <= 1; ++cstop) {
+      const Tok a_in = env_present(src);
+      const Tok a_out{pend_a != 0, reg_a};
+      const Tok rs_out = rs_present(rs);
+      const Tok b_out{pend_b != 0, reg_b};
+
+      // Backward stop chain (combinational, settled in dependency order:
+      // the chain has no stop cycle).
+      const bool stop_b_out = cstop != 0;
+      const bool b_fire =
+          rs_out.valid &&
+          !(strict_ ? stop_b_out : (stop_b_out && b_out.valid));
+      const bool stop_rs_out = !b_fire && rs_out.valid;
+      const bool stop_a_out = rs_stop_up(rs, kind_, strict_, stop_rs_out);
+      const bool a_fire =
+          a_in.valid && !(strict_ ? stop_a_out : (stop_a_out && a_out.valid));
+      const bool stop_src = !a_fire && a_in.valid;
+
+      std::optional<std::string> violation;
+      MonSt mon2 = mon;
+      mon_check(mon2, b_out, stop_b_out, mod_, violation);
+
+      // Edges.
+      std::uint8_t pend_a2 = pend_a, reg_a2 = reg_a;
+      if (pend_a2 && !stop_a_out) pend_a2 = 0;
+      if (!violation && a_fire) {
+        if (pend_a2) {
+          violation = "shell A fired with undelivered output";
+        } else {
+          reg_a2 = a_in.tag;
+          pend_a2 = 1;
+        }
+      }
+      RsSt rs2 = rs;
+      if (!violation) {
+        rs_edge(rs2, kind_, strict_, a_out, stop_rs_out, violation);
+      }
+      std::uint8_t pend_b2 = pend_b, reg_b2 = reg_b;
+      if (pend_b2 && !stop_b_out) pend_b2 = 0;
+      if (!violation && b_fire) {
+        if (pend_b2) {
+          violation = "shell B fired with undelivered output";
+        } else {
+          reg_b2 = rs_out.tag;
+          pend_b2 = 1;
+        }
+      }
+
+      env_next(src, stop_src, mod_, src2s);
+      for (const EnvSt& src2 : src2s) {
+        Succ succ;
+        std::ostringstream choice;
+        choice << "stop=" << cstop << ",env="
+               << (src2.presenting ? "offer" : "idle");
+        succ.choice = choice.str();
+        succ.violation = violation;
+        std::string ns;
+        put_env(ns, src2);
+        put(ns, reg_a2);
+        put(ns, pend_a2);
+        put_rs(ns, rs2);
+        put(ns, reg_b2);
+        put(ns, pend_b2);
+        put_mon(ns, mon2);
+        succ.state = std::move(ns);
+        succs.push_back(std::move(succ));
+      }
+    }
+    return succs;
+  }
+
+ private:
+  RsKind kind_;
+  bool strict_;
+  unsigned mod_;
+};
+
+// ---------------------------------------------------------------------
+// Buffered (Carloni-style) shell model: one input FIFO, one output.
+// ---------------------------------------------------------------------
+
+class BufferedShellModel final : public Model {
+ public:
+  BufferedShellModel(unsigned depth, StopPolicy policy, unsigned mod)
+      : depth_(depth), strict_(policy == StopPolicy::kCarloniStrict),
+        mod_(mod) {
+    LIPLIB_EXPECT(depth >= 1 && depth <= 3, "queue depth in [1,3]");
+    LIPLIB_EXPECT(mod > depth + 2, "tag_mod must cover the queue window");
+  }
+
+  std::string initial() const override {
+    std::string s;
+    put(s, 0);  // queue size
+    for (unsigned i = 0; i < depth_; ++i) put(s, 0);  // queue slots
+    put(s, static_cast<std::uint8_t>(mod_ - 1));      // reg (init valid)
+    put(s, 1);                                        // pend
+    put_env(s, EnvSt{});
+    MonSt mon;
+    mon.expected = static_cast<std::uint8_t>(mod_ - 1);
+    put_mon(s, mon);
+    return s;
+  }
+
+  std::vector<Succ> successors(const std::string& state) const override {
+    std::size_t i = 0;
+    const std::uint8_t qsize = get(state, i);
+    std::vector<std::uint8_t> q(depth_);
+    for (unsigned k = 0; k < depth_; ++k) q[k] = get(state, i);
+    const std::uint8_t reg = get(state, i);
+    const std::uint8_t pend = get(state, i);
+    const EnvSt env = get_env(state, i);
+    const MonSt mon = get_mon(state, i);
+
+    std::vector<Succ> succs;
+    std::vector<EnvSt> env2s;
+    for (int stop = 0; stop <= 1; ++stop) {
+      const Tok v_in = env_present(env);
+      const Tok out{pend != 0, reg};
+      const bool blocked =
+          strict_ ? (stop != 0) : (stop != 0 && pend != 0);
+      const bool fire = qsize > 0 && !blocked;
+      const bool stop_src = qsize >= depth_ && !fire;
+
+      std::optional<std::string> violation;
+      MonSt mon2 = mon;
+      mon_check(mon2, out, stop != 0, mod_, violation);
+
+      // Edge.
+      std::uint8_t pend2 = pend;
+      if (pend2 && !stop) pend2 = 0;
+      std::uint8_t reg2 = reg;
+      std::uint8_t qsize2 = qsize;
+      std::vector<std::uint8_t> q2 = q;
+      if (!violation && fire) {
+        if (pend2) {
+          violation = "buffered shell fired with undelivered output";
+        } else {
+          reg2 = q2[0];
+          for (unsigned k = 1; k < depth_; ++k) q2[k - 1] = q2[k];
+          q2[depth_ - 1] = 0;
+          --qsize2;
+          pend2 = 1;
+        }
+      }
+      if (!violation && v_in.valid && !stop_src) {
+        if (qsize2 >= depth_) {
+          violation = "input FIFO overflow (datum lost)";
+        } else {
+          q2[qsize2] = v_in.tag;
+          ++qsize2;
+        }
+      }
+
+      env_next(env, stop_src, mod_, env2s);
+      for (const EnvSt& env2 : env2s) {
+        Succ succ;
+        std::ostringstream choice;
+        choice << "stop=" << stop << ",env="
+               << (env2.presenting ? "offer" : "idle");
+        succ.choice = choice.str();
+        succ.violation = violation;
+        std::string ns;
+        put(ns, qsize2);
+        for (unsigned k = 0; k < depth_; ++k) {
+          put(ns, k < qsize2 ? q2[k] : 0);  // canonical: clear empty slots
+        }
+        put(ns, reg2);
+        put(ns, pend2);
+        put_env(ns, env2);
+        put_mon(ns, mon2);
+        succ.state = std::move(ns);
+        succs.push_back(std::move(succ));
+      }
+    }
+    return succs;
+  }
+
+ private:
+  unsigned depth_;
+  bool strict_;
+  unsigned mod_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_buffered_shell_model(unsigned depth,
+                                                 lip::StopPolicy policy,
+                                                 unsigned tag_mod) {
+  return std::make_unique<BufferedShellModel>(depth, policy, tag_mod);
+}
+
+std::unique_ptr<Model> make_relay_station_model(graph::RsKind kind,
+                                                lip::StopPolicy policy,
+                                                unsigned tag_mod) {
+  return std::make_unique<RelayModel>(kind, policy, tag_mod);
+}
+
+std::unique_ptr<Model> make_shell_model(unsigned num_inputs,
+                                        unsigned num_branches,
+                                        lip::StopPolicy policy,
+                                        unsigned tag_mod) {
+  return std::make_unique<ShellModel>(num_inputs, num_branches, policy,
+                                      tag_mod);
+}
+
+std::unique_ptr<Model> make_chain_model(graph::RsKind kind,
+                                        lip::StopPolicy policy,
+                                        unsigned tag_mod) {
+  return std::make_unique<ChainModel>(kind, policy, tag_mod);
+}
+
+}  // namespace liplib::formal

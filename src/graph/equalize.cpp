@@ -1,0 +1,77 @@
+#include "liplib/graph/equalize.hpp"
+
+namespace liplib::graph {
+
+EqualizationPlan plan_equalization(const Topology& topo) {
+  LIPLIB_EXPECT(topo.is_feedforward(),
+                "path equalization requires a feedforward topology");
+  const std::size_t n = topo.nodes().size();
+  std::vector<std::vector<ChannelId>> out(n);
+  std::vector<std::size_t> deg(n, 0);
+  for (ChannelId c = 0; c < topo.channels().size(); ++c) {
+    out[topo.channel(c).from.node].push_back(c);
+    deg[topo.channel(c).to.node]++;
+  }
+
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[v] == 0) order.push_back(v);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (ChannelId c : out[order[i]]) {
+      if (--deg[topo.channel(c).to.node] == 0) {
+        order.push_back(topo.channel(c).to.node);
+      }
+    }
+  }
+  LIPLIB_ENSURE(order.size() == n, "feedforward topology failed toposort");
+
+  EqualizationPlan plan;
+  plan.level.assign(n, 0);
+  // Longest-path levels over *station* counts: level(v) = max over
+  // in-channels of level(u) + stations(c).  Shells do not count — a
+  // shell's output register is initialized with a valid token, so it adds
+  // latency but no void; only relay stations (initialized void) create
+  // the imbalance `i` of the paper's formula.  This matches the paper's
+  // definition of i as "the difference of relay stations between the
+  // feedforward branches".
+  for (NodeId v : order) {
+    for (ChannelId c : out[v]) {
+      const auto& ch = topo.channel(c);
+      const std::uint64_t lv = plan.level[v] + ch.num_stations();
+      if (lv > plan.level[ch.to.node]) plan.level[ch.to.node] = lv;
+    }
+  }
+  // Slack on each channel becomes spare stations.
+  plan.stations_to_add.assign(topo.channels().size(), 0);
+  for (ChannelId c = 0; c < topo.channels().size(); ++c) {
+    const auto& ch = topo.channel(c);
+    const std::uint64_t have = plan.level[ch.from.node] + ch.num_stations();
+    const std::uint64_t want = plan.level[ch.to.node];
+    LIPLIB_ENSURE(want >= have, "levelling produced negative slack");
+    plan.stations_to_add[c] = static_cast<std::size_t>(want - have);
+    plan.total_added += plan.stations_to_add[c];
+  }
+  return plan;
+}
+
+std::size_t apply_equalization(Topology& topo, const EqualizationPlan& plan,
+                               RsKind kind) {
+  LIPLIB_EXPECT(plan.stations_to_add.size() == topo.channels().size(),
+                "plan does not match topology");
+  std::size_t added = 0;
+  for (ChannelId c = 0; c < topo.channels().size(); ++c) {
+    for (std::size_t k = 0; k < plan.stations_to_add[c]; ++k) {
+      topo.channel_mut(c).stations.push_back(kind);
+      ++added;
+    }
+  }
+  return added;
+}
+
+std::size_t equalize_paths(Topology& topo, RsKind kind) {
+  const auto plan = plan_equalization(topo);
+  return apply_equalization(topo, plan, kind);
+}
+
+}  // namespace liplib::graph

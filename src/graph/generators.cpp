@@ -1,0 +1,349 @@
+#include "liplib/graph/generators.hpp"
+
+namespace liplib::graph {
+
+namespace {
+
+std::vector<RsKind> chain(std::size_t n, RsKind kind) {
+  return std::vector<RsKind>(n, kind);
+}
+
+}  // namespace
+
+Generated make_pipeline(std::size_t num_processes,
+                        std::size_t stations_per_channel, RsKind kind) {
+  LIPLIB_EXPECT(num_processes >= 1, "pipeline needs at least one process");
+  Generated g;
+  const NodeId src = g.topo.add_source("src");
+  g.sources.push_back(src);
+  NodeId prev = src;
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    const NodeId p = g.topo.add_process("P" + std::to_string(i), 1, 1);
+    g.processes.push_back(p);
+    g.topo.connect({prev, 0}, {p, 0}, chain(stations_per_channel, kind));
+    prev = p;
+  }
+  const NodeId snk = g.topo.add_sink("out");
+  g.sinks.push_back(snk);
+  g.topo.connect({prev, 0}, {snk, 0}, chain(stations_per_channel, kind));
+  return g;
+}
+
+Generated make_tree(std::size_t depth, std::size_t stations_per_channel,
+                    RsKind kind) {
+  LIPLIB_EXPECT(depth >= 1, "tree needs depth >= 1");
+  Generated g;
+  // Level 0: 2^depth sources.
+  std::vector<NodeId> level;
+  const std::size_t leaves = std::size_t{1} << depth;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const NodeId s = g.topo.add_source("src" + std::to_string(i));
+    g.sources.push_back(s);
+    level.push_back(s);
+  }
+  // Reduction levels of 2-input joins.
+  std::size_t name = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const NodeId j = g.topo.add_process("J" + std::to_string(name++), 2, 1);
+      g.processes.push_back(j);
+      g.topo.connect({level[i], 0}, {j, 0}, chain(stations_per_channel, kind));
+      g.topo.connect({level[i + 1], 0}, {j, 1},
+                     chain(stations_per_channel, kind));
+      next.push_back(j);
+    }
+    level = std::move(next);
+  }
+  const NodeId snk = g.topo.add_sink("out");
+  g.sinks.push_back(snk);
+  g.topo.connect({level[0], 0}, {snk, 0}, chain(stations_per_channel, kind));
+  return g;
+}
+
+Generated make_reconvergent(std::size_t short_stations,
+                            std::size_t long_shells,
+                            std::size_t long_stations_per_hop, RsKind kind) {
+  LIPLIB_EXPECT(short_stations >= 1 && long_stations_per_hop >= 1,
+                "shell-to-shell channels need at least one station");
+  Generated g;
+  const NodeId src = g.topo.add_source("src");
+  g.sources.push_back(src);
+  const NodeId a = g.topo.add_process("A", 1, 2);
+  g.processes.push_back(a);
+  g.fork = a;
+  g.topo.connect({src, 0}, {a, 0});
+
+  const NodeId c = g.topo.add_process("C", 2, 1);
+  // Long branch: A -> W1 -> ... -> Wk -> C (input 0 of the join).
+  NodeId prev = a;
+  std::size_t prev_port = 0;
+  for (std::size_t i = 0; i < long_shells; ++i) {
+    const NodeId w = g.topo.add_process("W" + std::to_string(i), 1, 1);
+    g.processes.push_back(w);
+    g.topo.connect({prev, prev_port}, {w, 0},
+                   chain(long_stations_per_hop, kind));
+    prev = w;
+    prev_port = 0;
+  }
+  g.topo.connect({prev, prev_port}, {c, 0},
+                 chain(long_stations_per_hop, kind));
+  // Short branch: A (port 1) -> C (input 1).
+  g.topo.connect({a, 1}, {c, 1}, chain(short_stations, kind));
+  g.processes.push_back(c);
+  g.join = c;
+
+  const NodeId snk = g.topo.add_sink("out");
+  g.sinks.push_back(snk);
+  g.topo.connect({c, 0}, {snk, 0});
+  return g;
+}
+
+Generated make_fig1() {
+  // Shells A, B, C; channels A->B, B->C (long branch) and A->C (short
+  // branch), one full relay station each: i = 2-1 = 1, m = 3 stations +
+  // shells {B, C} = 5, T = (m-i)/m = 4/5.
+  return make_reconvergent(/*short_stations=*/1, /*long_shells=*/1,
+                           /*long_stations_per_hop=*/1, RsKind::kFull);
+}
+
+Generated make_closed_ring(std::vector<std::size_t> stations_per_channel,
+                           RsKind kind) {
+  LIPLIB_EXPECT(!stations_per_channel.empty(), "ring needs >= 1 shell");
+  Generated g;
+  const std::size_t s = stations_per_channel.size();
+  for (std::size_t i = 0; i < s; ++i) {
+    g.processes.push_back(
+        g.topo.add_process("L" + std::to_string(i), 1, 1));
+  }
+  std::vector<ChannelId> loop;
+  for (std::size_t i = 0; i < s; ++i) {
+    loop.push_back(g.topo.connect({g.processes[i], 0},
+                                  {g.processes[(i + 1) % s], 0},
+                                  chain(stations_per_channel[i], kind)));
+  }
+  g.loops.push_back(std::move(loop));
+  return g;
+}
+
+Generated make_ring_with_tap(std::size_t ab_stations,
+                             std::size_t ba_stations, RsKind kind) {
+  LIPLIB_EXPECT(ab_stations >= 1 && ba_stations >= 1,
+                "shell-to-shell channels need at least one station");
+  Generated g;
+  const NodeId a = g.topo.add_process("A", 1, 2);
+  const NodeId b = g.topo.add_process("B", 1, 1);
+  g.processes = {a, b};
+  std::vector<ChannelId> loop;
+  loop.push_back(g.topo.connect({a, 0}, {b, 0}, chain(ab_stations, kind)));
+  loop.push_back(g.topo.connect({b, 0}, {a, 0}, chain(ba_stations, kind)));
+  g.loops.push_back(std::move(loop));
+  const NodeId snk = g.topo.add_sink("out");
+  g.sinks.push_back(snk);
+  g.topo.connect({a, 1}, {snk, 0});
+  return g;
+}
+
+Generated make_fig2() {
+  // Two shells, one full relay station per direction: S = 2, R = 2,
+  // T = S/(S+R) = 1/2.
+  return make_ring_with_tap(1, 1, RsKind::kFull);
+}
+
+Generated make_loop_chain(const std::vector<RingSpec>& specs,
+                          std::size_t chain_stations) {
+  LIPLIB_EXPECT(!specs.empty(), "loop chain needs at least one loop");
+  Generated g;
+  const NodeId src = g.topo.add_source("src");
+  g.sources.push_back(src);
+  NodeId prev = src;
+  std::size_t prev_port = 0;
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const RingSpec& spec = specs[k];
+    LIPLIB_EXPECT(spec.extra_shells >= 1,
+                  "each loop needs at least one shell besides the port");
+    const std::string tag = "R" + std::to_string(k);
+    // Port shell: input 0 = chain input, input 1 = loop return;
+    // output 0 = chain output, output 1 = loop forward.
+    const NodeId port = g.topo.add_process(tag + "_port", 2, 2);
+    g.processes.push_back(port);
+    g.topo.connect({prev, prev_port}, {port, 0},
+                   chain(chain_stations, RsKind::kFull));
+    // Loop body: port -> E0 -> ... -> En-1 -> port, distributing
+    // spec.loop_stations as evenly as possible over the loop's channels
+    // with at least one station per shell-to-shell hop.
+    const std::size_t hops = spec.extra_shells + 1;
+    std::vector<std::size_t> per_hop(hops, 1);
+    LIPLIB_EXPECT(spec.loop_stations >= hops,
+                  "loop_stations must cover one station per hop");
+    std::size_t remaining = spec.loop_stations - hops;
+    for (std::size_t h = 0; remaining > 0; h = (h + 1) % hops, --remaining) {
+      per_hop[h]++;
+    }
+    std::vector<ChannelId> loop;
+    NodeId lp = port;
+    std::size_t lp_port = 1;
+    for (std::size_t e = 0; e < spec.extra_shells; ++e) {
+      const NodeId body =
+          g.topo.add_process(tag + "_b" + std::to_string(e), 1, 1);
+      g.processes.push_back(body);
+      loop.push_back(g.topo.connect({lp, lp_port}, {body, 0},
+                                    chain(per_hop[e], spec.kind)));
+      lp = body;
+      lp_port = 0;
+    }
+    loop.push_back(g.topo.connect({lp, lp_port}, {port, 1},
+                                  chain(per_hop[hops - 1], spec.kind)));
+    g.loops.push_back(std::move(loop));
+    prev = port;
+    prev_port = 0;
+  }
+  const NodeId snk = g.topo.add_sink("out");
+  g.sinks.push_back(snk);
+  g.topo.connect({prev, prev_port}, {snk, 0},
+                 chain(chain_stations, RsKind::kFull));
+  return g;
+}
+
+Generated make_random_composite(Rng& rng, std::size_t segments,
+                                bool allow_half, bool allow_half_in_loops) {
+  LIPLIB_EXPECT(segments >= 1, "need at least one segment");
+  Generated g;
+  auto kind_off_cycle = [&] {
+    return allow_half && rng.chance(1, 3) ? RsKind::kHalf : RsKind::kFull;
+  };
+  auto kind_on_cycle = [&] {
+    // When halves are allowed on loops, bias toward them: the latent
+    // latch needs a fully-half loop, which is the configuration the
+    // deadlock experiments want to sample with useful frequency.
+    return allow_half_in_loops && rng.chance(3, 4) ? RsKind::kHalf
+                                                   : RsKind::kFull;
+  };
+  auto chain_off = [&](std::size_t n) {
+    std::vector<RsKind> st;
+    for (std::size_t i = 0; i < n; ++i) st.push_back(kind_off_cycle());
+    return st;
+  };
+
+  const NodeId src = g.topo.add_source("src");
+  g.sources.push_back(src);
+  NodeId prev = src;
+  std::size_t prev_port = 0;
+
+  // Channels between segments connect two shells once past the source,
+  // so they must carry at least one relay station (structural rule).
+  auto inlet = [&] {
+    const std::size_t lo = (prev == src) ? 0 : 1;
+    return chain_off(rng.in_range(lo, 2));
+  };
+
+  for (std::size_t k = 0; k < segments; ++k) {
+    const std::string tag = "s" + std::to_string(k);
+    const std::uint64_t pick = rng.below(3);
+    if (pick == 0) {
+      // Pipeline stage.
+      const NodeId p = g.topo.add_process(tag + "_pipe", 1, 1);
+      g.topo.connect({prev, prev_port}, {p, 0}, inlet());
+      g.processes.push_back(p);
+      prev = p;
+      prev_port = 0;
+    } else if (pick == 1) {
+      // Reconvergent diamond: fork -> {direct, via a body shell} -> join.
+      const NodeId fork = g.topo.add_process(tag + "_fork", 1, 2);
+      g.topo.connect({prev, prev_port}, {fork, 0}, inlet());
+      const NodeId body = g.topo.add_process(tag + "_body", 1, 1);
+      const NodeId join = g.topo.add_process(tag + "_join", 2, 1);
+      g.processes.insert(g.processes.end(), {fork, body, join});
+      g.topo.connect({fork, 0}, {body, 0}, chain_off(rng.in_range(1, 3)));
+      g.topo.connect({body, 0}, {join, 0}, chain_off(rng.in_range(1, 3)));
+      g.topo.connect({fork, 1}, {join, 1}, chain_off(rng.in_range(1, 3)));
+      prev = join;
+      prev_port = 0;
+    } else {
+      // Self-interacting loop through a 2-in 2-out port shell.
+      const NodeId port = g.topo.add_process(tag + "_port", 2, 2);
+      g.topo.connect({prev, prev_port}, {port, 0}, inlet());
+      g.processes.push_back(port);
+      const std::size_t body_shells = rng.in_range(0, 2);
+      std::vector<ChannelId> loop;
+      NodeId lp = port;
+      std::size_t lp_port = 1;
+      for (std::size_t b = 0; b < body_shells; ++b) {
+        const NodeId body =
+            g.topo.add_process(tag + "_l" + std::to_string(b), 1, 1);
+        g.processes.push_back(body);
+        std::vector<RsKind> st;
+        for (std::size_t i = 0, n = rng.in_range(1, 2); i < n; ++i) {
+          st.push_back(kind_on_cycle());
+        }
+        loop.push_back(g.topo.connect({lp, lp_port}, {body, 0}, st));
+        lp = body;
+        lp_port = 0;
+      }
+      std::vector<RsKind> st;
+      for (std::size_t i = 0, n = rng.in_range(1, 2); i < n; ++i) {
+        st.push_back(kind_on_cycle());
+      }
+      loop.push_back(g.topo.connect({lp, lp_port}, {port, 1}, st));
+      g.loops.push_back(std::move(loop));
+      prev = port;
+      prev_port = 0;
+    }
+  }
+  const NodeId snk = g.topo.add_sink("out");
+  g.sinks.push_back(snk);
+  g.topo.connect({prev, prev_port}, {snk, 0},
+                 chain_off(rng.in_range(0, 2)));
+  return g;
+}
+
+Generated make_random_feedforward(Rng& rng, std::size_t num_processes,
+                                  std::size_t max_stations, bool allow_half) {
+  LIPLIB_EXPECT(num_processes >= 1, "need at least one process");
+  LIPLIB_EXPECT(max_stations >= 1, "need max_stations >= 1");
+  Generated g;
+
+  auto random_chain = [&](bool force_station) {
+    const std::size_t lo = force_station ? 1 : 0;
+    const std::size_t n = rng.in_range(lo, max_stations);
+    std::vector<RsKind> st;
+    for (std::size_t i = 0; i < n; ++i) {
+      st.push_back(allow_half && rng.chance(1, 3) ? RsKind::kHalf
+                                                  : RsKind::kFull);
+    }
+    return st;
+  };
+
+  // Create processes in topological order; each input connects to a
+  // random earlier process output or to a fresh source.
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    const std::size_t ins = 1 + (rng.chance(2, 5) ? 1 : 0);
+    const NodeId p =
+        g.topo.add_process("P" + std::to_string(i), ins, 1);
+    for (std::size_t port = 0; port < ins; ++port) {
+      if (!g.processes.empty() && rng.chance(3, 4)) {
+        const NodeId producer =
+            g.processes[rng.below(g.processes.size())];
+        g.topo.connect({producer, 0}, {p, port}, random_chain(true));
+      } else {
+        const NodeId s =
+            g.topo.add_source("src" + std::to_string(g.sources.size()));
+        g.sources.push_back(s);
+        g.topo.connect({s, 0}, {p, port}, random_chain(false));
+      }
+    }
+    g.processes.push_back(p);
+  }
+  // Every output port that drives nothing gets a sink.
+  for (NodeId p : g.processes) {
+    if (g.topo.channels_of({p, 0}).empty()) {
+      const NodeId s =
+          g.topo.add_sink("out" + std::to_string(g.sinks.size()));
+      g.sinks.push_back(s);
+      g.topo.connect({p, 0}, {s, 0}, random_chain(false));
+    }
+  }
+  return g;
+}
+
+}  // namespace liplib::graph

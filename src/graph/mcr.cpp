@@ -1,0 +1,139 @@
+#include "liplib/graph/mcr.hpp"
+
+#include <vector>
+
+#include "liplib/graph/analysis.hpp"
+
+namespace liplib::graph {
+
+namespace {
+
+struct Edge {
+  std::size_t from;
+  std::size_t to;
+  std::int64_t tokens;  // 1 per edge (the producing shell's init token)
+  std::int64_t length;  // 1 + relay stations on the channel
+};
+
+/// Bellman-Ford negative-cycle test on weights w_e = tokens*q - length*p,
+/// i.e. "exists cycle with ratio < p/q" (strictly, when result < 0) —
+/// all-zero initialization detects negative cycles anywhere.
+/// Returns the final potentials when no negative cycle exists.
+bool has_negative_cycle(const std::vector<Edge>& edges, std::size_t n,
+                        std::int64_t p, std::int64_t q,
+                        std::vector<std::int64_t>* potentials_out) {
+  std::vector<std::int64_t> dist(n, 0);
+  bool changed = false;
+  for (std::size_t round = 0; round < n; ++round) {
+    changed = false;
+    for (const auto& e : edges) {
+      const std::int64_t w = e.tokens * q - e.length * p;
+      if (dist[e.from] + w < dist[e.to]) {
+        dist[e.to] = dist[e.from] + w;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (changed) return true;  // still relaxing after n rounds
+  if (potentials_out) *potentials_out = std::move(dist);
+  return false;
+}
+
+/// True when the tight subgraph (reduced weight zero under `pot`)
+/// contains a directed cycle — i.e. some cycle attains ratio p/q exactly.
+bool has_zero_cycle(const std::vector<Edge>& edges, std::size_t n,
+                    std::int64_t p, std::int64_t q,
+                    const std::vector<std::int64_t>& pot) {
+  std::vector<std::vector<std::size_t>> tight(n);
+  for (const auto& e : edges) {
+    const std::int64_t w = e.tokens * q - e.length * p;
+    if (pot[e.from] + w == pot[e.to]) tight[e.from].push_back(e.to);
+  }
+  // Cycle detection by iterative coloring.
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.push_back({root, 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < tight[v].size()) {
+        const std::size_t w = tight[v][i++];
+        if (color[w] == 1) return true;
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Rational> min_cycle_ratio(const Topology& topo) {
+  if (topo.is_feedforward()) return std::nullopt;
+
+  const std::size_t n = topo.nodes().size();
+  std::vector<Edge> edges;
+  std::int64_t total_length = 0;
+  for (const auto& ch : topo.channels()) {
+    const std::int64_t len =
+        1 + static_cast<std::int64_t>(ch.num_stations());
+    edges.push_back({ch.from.node, ch.to.node, 1, len});
+    total_length += len;
+  }
+
+  // The optimum is p*/q* with 1 <= p* <= q* <= total_length.  Binary
+  // search on the ratio with exact rational tests: after enough halving
+  // the interval contains exactly one candidate with denominator within
+  // bound, recovered by the Stern-Brocot (mediant) walk.
+  //   invariant: no cycle ratio < lo;  some cycle ratio <= hi.
+  Rational lo(0);
+  Rational hi(1);
+  // hi starts feasible: every cycle has ratio <= 1 (tokens <= length).
+  const std::int64_t max_den = total_length;
+
+  // Degenerate optimum at 1 (a cycle with no stations at all — only
+  // possible on unvalidated topologies, but handle it exactly).
+  {
+    std::vector<std::int64_t> pot;
+    if (!has_negative_cycle(edges, n, 1, 1, &pot) &&
+        has_zero_cycle(edges, n, 1, 1, pot)) {
+      return Rational(1);
+    }
+  }
+
+  // Stern-Brocot descent: narrow [lo, hi] keeping denominators small.
+  // Each step tests the mediant; this terminates because the optimum is a
+  // fraction with denominator <= max_den and the mediant walk visits
+  // every best approximation on the way (at most ~2*max_den steps).
+  for (std::int64_t iter = 0; iter < 4 * max_den + 64; ++iter) {
+    const Rational med(lo.num() + hi.num(), lo.den() + hi.den());
+    std::vector<std::int64_t> pot;
+    if (has_negative_cycle(edges, n, med.num(), med.den(), &pot)) {
+      hi = med;  // some cycle strictly below med
+      continue;
+    }
+    // No cycle strictly below med: med is a lower bound; is it attained?
+    if (has_zero_cycle(edges, n, med.num(), med.den(), pot)) {
+      return med;
+    }
+    lo = med;
+    if (lo.den() > max_den && hi.den() > max_den) break;
+  }
+  // Unreachable for well-formed inputs; fall back to the enumeration.
+  Rational best(1);
+  for (const auto& c : enumerate_cycles(topo)) {
+    if (c.throughput < best) best = c.throughput;
+  }
+  return best;
+}
+
+}  // namespace liplib::graph

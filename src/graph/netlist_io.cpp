@@ -1,0 +1,189 @@
+#include "liplib/graph/netlist_io.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+
+namespace liplib::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw ApiError("netlist line " + std::to_string(line) + ": " + msg);
+}
+
+/// Splits "name.port" into its parts.
+std::pair<std::string, std::size_t> parse_port_ref(std::size_t line,
+                                                   const std::string& tok) {
+  const auto dot = tok.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == tok.size()) {
+    fail(line, "expected <name>.<port>, got '" + tok + "'");
+  }
+  const std::string name = tok.substr(0, dot);
+  const std::string port_str = tok.substr(dot + 1);
+  std::size_t port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') fail(line, "bad port number in '" + tok + "'");
+    port = port * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return {name, port};
+}
+
+std::size_t parse_count(std::size_t line, const std::string& tok,
+                        const char* what) {
+  if (tok.empty()) fail(line, std::string("missing ") + what);
+  std::size_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') {
+      fail(line, std::string("bad ") + what + " '" + tok + "'");
+    }
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return v;
+}
+
+RsKind parse_station(std::size_t line, const std::string& tok) {
+  if (tok == "F" || tok == "f" || tok == "full") return RsKind::kFull;
+  if (tok == "H" || tok == "h" || tok == "half") return RsKind::kHalf;
+  fail(line, "unknown relay station kind '" + tok + "' (use F or H)");
+}
+
+}  // namespace
+
+namespace {
+
+AnnotatedNetlist parse_impl(std::istream& in, bool allow_annotations) {
+  AnnotatedNetlist result;
+  Topology& topo = result.topo;
+  std::map<std::string, NodeId> by_name;
+  std::string raw;
+  std::size_t line_no = 0;
+
+  auto declare = [&](std::size_t line, const std::string& name, NodeId id) {
+    if (!by_name.emplace(name, id).second) {
+      fail(line, "duplicate node name '" + name + "'");
+    }
+  };
+  auto lookup = [&](std::size_t line, const std::string& name) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) fail(line, "unknown node '" + name + "'");
+    return it->second;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream ls(raw);
+    std::string kw;
+    if (!(ls >> kw)) continue;  // blank or comment-only line
+
+    auto take_annotation = [&](NodeId id) {
+      std::string extra;
+      if (ls >> extra) {
+        if (!allow_annotations) {
+          fail(line_no, "unexpected token '" + extra + "'");
+        }
+        result.node_annotation.resize(topo.nodes().size());
+        result.node_annotation[id] = extra;
+        std::string more;
+        if (ls >> more) fail(line_no, "unexpected token '" + more + "'");
+      }
+    };
+    if (kw == "source" || kw == "sink") {
+      std::string name;
+      if (!(ls >> name)) fail(line_no, kw + " needs a name");
+      const NodeId id =
+          kw == "source" ? topo.add_source(name) : topo.add_sink(name);
+      declare(line_no, name, id);
+      take_annotation(id);
+    } else if (kw == "process") {
+      std::string name, ins, outs;
+      if (!(ls >> name >> ins >> outs)) {
+        fail(line_no, "process needs <name> <num_inputs> <num_outputs>");
+      }
+      const auto ni = parse_count(line_no, ins, "input count");
+      const auto no = parse_count(line_no, outs, "output count");
+      if (ni + no == 0) fail(line_no, "process with no ports");
+      const NodeId id = topo.add_process(name, ni, no);
+      declare(line_no, name, id);
+      take_annotation(id);
+    } else if (kw == "channel") {
+      std::string from_tok, arrow, to_tok;
+      if (!(ls >> from_tok >> arrow >> to_tok) || arrow != "->") {
+        fail(line_no, "channel needs <name>.<port> -> <name>.<port>");
+      }
+      const auto [from_name, from_port] = parse_port_ref(line_no, from_tok);
+      const auto [to_name, to_port] = parse_port_ref(line_no, to_tok);
+      std::vector<RsKind> stations;
+      std::string tok;
+      if (ls >> tok) {
+        if (tok != ":") fail(line_no, "expected ':' before stations");
+        while (ls >> tok) stations.push_back(parse_station(line_no, tok));
+      }
+      const NodeId from = lookup(line_no, from_name);
+      const NodeId to = lookup(line_no, to_name);
+      try {
+        topo.connect({from, from_port}, {to, to_port}, std::move(stations));
+      } catch (const ApiError& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  result.node_annotation.resize(topo.nodes().size());
+  return result;
+}
+
+}  // namespace
+
+Topology parse_netlist(std::istream& in) {
+  return parse_impl(in, /*allow_annotations=*/false).topo;
+}
+
+Topology parse_netlist_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_netlist(in);
+}
+
+AnnotatedNetlist parse_netlist_annotated(std::istream& in) {
+  return parse_impl(in, /*allow_annotations=*/true);
+}
+
+AnnotatedNetlist parse_netlist_annotated_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_netlist_annotated(in);
+}
+
+std::string write_netlist(const Topology& topo) {
+  std::ostringstream os;
+  for (const auto& node : topo.nodes()) {
+    switch (node.kind) {
+      case NodeKind::kSource:
+        os << "source " << node.name << "\n";
+        break;
+      case NodeKind::kSink:
+        os << "sink " << node.name << "\n";
+        break;
+      case NodeKind::kProcess:
+        os << "process " << node.name << ' ' << node.num_inputs << ' '
+           << node.num_outputs << "\n";
+        break;
+    }
+  }
+  for (const auto& ch : topo.channels()) {
+    os << "channel " << topo.node(ch.from.node).name << '.' << ch.from.port
+       << " -> " << topo.node(ch.to.node).name << '.' << ch.to.port;
+    if (!ch.stations.empty()) {
+      os << " :";
+      for (RsKind k : ch.stations) {
+        os << ' ' << (k == RsKind::kFull ? 'F' : 'H');
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace liplib::graph

@@ -1,0 +1,326 @@
+#include "liplib/graph/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace liplib::graph {
+
+std::size_t Channel::num_full() const {
+  return static_cast<std::size_t>(
+      std::count(stations.begin(), stations.end(), RsKind::kFull));
+}
+
+std::size_t Channel::num_half() const {
+  return static_cast<std::size_t>(
+      std::count(stations.begin(), stations.end(), RsKind::kHalf));
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& i : issues) {
+    os << (i.severity == ValidationIssue::Severity::kError ? "error: "
+                                                           : "warning: ")
+       << i.message << '\n';
+  }
+  return os.str();
+}
+
+NodeId Topology::add_process(std::string name, std::size_t num_inputs,
+                             std::size_t num_outputs) {
+  LIPLIB_EXPECT(num_inputs + num_outputs > 0, "process with no ports");
+  nodes_.push_back(
+      {std::move(name), NodeKind::kProcess, num_inputs, num_outputs});
+  return nodes_.size() - 1;
+}
+
+NodeId Topology::add_source(std::string name) {
+  nodes_.push_back({std::move(name), NodeKind::kSource, 0, 1});
+  return nodes_.size() - 1;
+}
+
+NodeId Topology::add_sink(std::string name) {
+  nodes_.push_back({std::move(name), NodeKind::kSink, 1, 0});
+  return nodes_.size() - 1;
+}
+
+void Topology::check_out(OutRef r) const {
+  LIPLIB_EXPECT(r.node < nodes_.size(), "output ref: node out of range");
+  LIPLIB_EXPECT(r.port < nodes_[r.node].num_outputs,
+                "output ref: port out of range for node " +
+                    nodes_[r.node].name);
+}
+
+void Topology::check_in(InRef r) const {
+  LIPLIB_EXPECT(r.node < nodes_.size(), "input ref: node out of range");
+  LIPLIB_EXPECT(
+      r.port < nodes_[r.node].num_inputs,
+      "input ref: port out of range for node " + nodes_[r.node].name);
+}
+
+ChannelId Topology::connect(OutRef from, InRef to,
+                            std::vector<RsKind> stations) {
+  check_out(from);
+  check_in(to);
+  for (const auto& c : channels_) {
+    LIPLIB_EXPECT(!(c.to.node == to.node && c.to.port == to.port),
+                  "input port of " + nodes_[to.node].name + " driven twice");
+  }
+  channels_.push_back({from, to, std::move(stations)});
+  return channels_.size() - 1;
+}
+
+std::vector<ChannelId> Topology::channels_from(NodeId n) const {
+  std::vector<ChannelId> out;
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].from.node == n) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<ChannelId> Topology::channels_into(NodeId n) const {
+  std::vector<ChannelId> out;
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].to.node == n) out.push_back(c);
+  }
+  return out;
+}
+
+std::optional<ChannelId> Topology::channel_into(InRef in) const {
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].to.node == in.node && channels_[c].to.port == in.port) {
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ChannelId> Topology::channels_of(OutRef out) const {
+  std::vector<ChannelId> r;
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].from.node == out.node &&
+        channels_[c].from.port == out.port) {
+      r.push_back(c);
+    }
+  }
+  return r;
+}
+
+std::size_t Topology::total_stations() const {
+  std::size_t n = 0;
+  for (const auto& c : channels_) n += c.num_stations();
+  return n;
+}
+
+std::size_t Topology::total_full_stations() const {
+  std::size_t n = 0;
+  for (const auto& c : channels_) n += c.num_full();
+  return n;
+}
+
+std::size_t Topology::total_half_stations() const {
+  std::size_t n = 0;
+  for (const auto& c : channels_) n += c.num_half();
+  return n;
+}
+
+std::size_t Topology::num_processes() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == NodeKind::kProcess) ++n;
+  }
+  return n;
+}
+
+std::size_t Topology::num_sources() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == NodeKind::kSource) ++n;
+  }
+  return n;
+}
+
+std::size_t Topology::num_sinks() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == NodeKind::kSink) ++n;
+  }
+  return n;
+}
+
+std::vector<std::vector<NodeId>> Topology::process_sccs() const {
+  // Iterative Tarjan over all nodes; sources/sinks end up in singleton
+  // components which callers can ignore.
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const auto& c : channels_) adj[c.from.node].push_back(c.to.node);
+
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    std::size_t child = 0;
+  };
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < adj[f.v].size()) {
+        NodeId w = adj[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          std::vector<NodeId> comp;
+          for (;;) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+            if (w == f.v) break;
+          }
+          sccs.push_back(std::move(comp));
+        }
+        NodeId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+std::vector<bool> Topology::channels_on_cycles() const {
+  const auto sccs = process_sccs();
+  std::vector<std::size_t> comp_of(nodes_.size(), 0);
+  std::vector<std::size_t> comp_size(sccs.size(), 0);
+  for (std::size_t i = 0; i < sccs.size(); ++i) {
+    comp_size[i] = sccs[i].size();
+    for (NodeId v : sccs[i]) comp_of[v] = i;
+  }
+  // A channel lies on a directed cycle iff both endpoints are in the same
+  // SCC and that SCC is nontrivial (size > 1, or size 1 with a self loop).
+  std::vector<bool> on_cycle(channels_.size(), false);
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    const auto& ch = channels_[c];
+    if (ch.from.node == ch.to.node) {
+      on_cycle[c] = true;
+      continue;
+    }
+    if (comp_of[ch.from.node] == comp_of[ch.to.node] &&
+        comp_size[comp_of[ch.from.node]] > 1) {
+      on_cycle[c] = true;
+    }
+  }
+  return on_cycle;
+}
+
+bool Topology::is_feedforward() const {
+  const auto on_cycle = channels_on_cycles();
+  return std::none_of(on_cycle.begin(), on_cycle.end(),
+                      [](bool b) { return b; });
+}
+
+ValidationReport Topology::validate(
+    bool require_station_between_shells) const {
+  ValidationReport report;
+  auto error = [&](std::string msg) {
+    report.issues.push_back(
+        {ValidationIssue::Severity::kError, std::move(msg)});
+  };
+  auto warning = [&](std::string msg) {
+    report.issues.push_back(
+        {ValidationIssue::Severity::kWarning, std::move(msg)});
+  };
+
+  // Every input port must be driven exactly once (connect() already
+  // rejects double drive, so only absence can occur here).
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    for (std::size_t p = 0; p < nodes_[v].num_inputs; ++p) {
+      if (!channel_into({v, p})) {
+        error("input port " + std::to_string(p) + " of " + nodes_[v].name +
+              " is not driven");
+      }
+    }
+    // Output ports must drive at least one channel, otherwise tokens pile
+    // up conceptually (the shell could never fire past its first output).
+    for (std::size_t p = 0; p < nodes_[v].num_outputs; ++p) {
+      if (channels_of({v, p}).empty()) {
+        error("output port " + std::to_string(p) + " of " + nodes_[v].name +
+              " drives nothing");
+      }
+    }
+  }
+
+  // Paper rule: at least one memory element (half or full relay station)
+  // must separate two shells, because the stop signal cannot be back
+  // propagated indefinitely through stop-transparent shells.
+  for (const auto& c : channels_) {
+    const bool from_process = nodes_[c.from.node].kind == NodeKind::kProcess;
+    const bool to_process = nodes_[c.to.node].kind == NodeKind::kProcess;
+    if (require_station_between_shells && from_process && to_process &&
+        c.stations.empty()) {
+      error("channel " + nodes_[c.from.node].name + " -> " +
+            nodes_[c.to.node].name +
+            " connects two shells with no relay station (the protocol "
+            "requires at least one memory element between shells)");
+    }
+    if (nodes_[c.from.node].kind == NodeKind::kSource &&
+        nodes_[c.to.node].kind == NodeKind::kSink) {
+      warning("channel " + nodes_[c.from.node].name + " -> " +
+              nodes_[c.to.node].name + " connects a source directly to a sink");
+    }
+  }
+
+  // Paper liveness result: half relay stations are safe everywhere except
+  // on cycles, where they may deadlock.
+  const auto on_cycle = channels_on_cycles();
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    if (on_cycle[c] && channels_[c].num_half() > 0) {
+      warning("channel " + nodes_[channels_[c].from.node].name + " -> " +
+              nodes_[channels_[c].to.node].name +
+              " lies on a cycle and contains a half relay station: "
+              "potential deadlock; run skeleton screening");
+    }
+  }
+  return report;
+}
+
+std::string Topology::to_dot() const {
+  std::ostringstream os;
+  os << "digraph lid {\n  rankdir=LR;\n";
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const char* shape = "box";
+    if (nodes_[v].kind == NodeKind::kSource) shape = "invtriangle";
+    if (nodes_[v].kind == NodeKind::kSink) shape = "triangle";
+    os << "  n" << v << " [label=\"" << nodes_[v].name << "\" shape=" << shape
+       << "];\n";
+  }
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    const auto& ch = channels_[c];
+    std::string label;
+    for (RsKind k : ch.stations) label += (k == RsKind::kFull ? 'F' : 'H');
+    os << "  n" << ch.from.node << " -> n" << ch.to.node << " [label=\""
+       << label << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace liplib::graph

@@ -1,0 +1,102 @@
+#include "liplib/lip/evolution.hpp"
+
+#include <sstream>
+
+namespace liplib::lip {
+
+namespace {
+
+char activity_mark(ShellActivity a) {
+  switch (a) {
+    case ShellActivity::kFired:
+      return '*';
+    case ShellActivity::kWaitingInput:
+      return '.';
+    case ShellActivity::kStoppedOutput:
+      return '!';
+  }
+  return '?';
+}
+
+}  // namespace
+
+liplib::Table trace_evolution(System& sys, std::uint64_t cycles) {
+  const auto& topo = sys.topology();
+
+  // Column plan: cycle | per node | per station.
+  std::vector<std::string> header{"cyc"};
+  struct NodeCol {
+    graph::NodeId node;
+    graph::NodeKind kind;
+    graph::ChannelId probe_channel;  // whose seg 0 / last seg we show
+  };
+  std::vector<NodeCol> node_cols;
+  for (graph::NodeId v = 0; v < topo.nodes().size(); ++v) {
+    const auto& node = topo.node(v);
+    NodeCol col{v, node.kind, 0};
+    if (node.kind == graph::NodeKind::kSink) {
+      const auto c = topo.channel_into({v, 0});
+      LIPLIB_ENSURE(c.has_value(), "sink undriven");
+      col.probe_channel = *c;
+    } else {
+      const auto cs = topo.channels_of({v, 0});
+      LIPLIB_ENSURE(!cs.empty(), "node output undriven");
+      col.probe_channel = cs.front();
+    }
+    header.push_back(node.name);
+    node_cols.push_back(col);
+  }
+  struct StationCol {
+    graph::ChannelId channel;
+    std::size_t index;  // position of the station on the channel
+  };
+  std::vector<StationCol> station_cols;
+  for (graph::ChannelId c = 0; c < topo.channels().size(); ++c) {
+    const auto& ch = topo.channel(c);
+    for (std::size_t k = 0; k < ch.num_stations(); ++k) {
+      std::ostringstream name;
+      name << topo.node(ch.from.node).name << ">"
+           << topo.node(ch.to.node).name << "#" << k;
+      header.push_back(name.str());
+      station_cols.push_back({c, k});
+    }
+  }
+
+  liplib::Table table(header);
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    sys.step();
+    std::vector<std::string> row{std::to_string(sys.cycle() - 1)};
+    for (const auto& col : node_cols) {
+      const auto view = sys.channel_view(col.probe_channel);
+      std::string cell;
+      if (col.kind == graph::NodeKind::kSink) {
+        cell = view.back().fwd.str();
+      } else {
+        cell = view.front().fwd.str();
+        if (col.kind == graph::NodeKind::kProcess) {
+          cell += activity_mark(sys.shell_activity(col.node));
+        }
+      }
+      row.push_back(cell);
+    }
+    for (const auto& col : station_cols) {
+      const auto view = sys.channel_view(col.channel);
+      // Segment index col.index + 1 is the station's downstream hop;
+      // its stop flag on the *upstream* hop (col.index) marks the
+      // station's back pressure toward the producer.
+      std::string cell = view[col.index + 1].fwd.str();
+      if (view[col.index].stop) cell += '!';
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string render_evolution(System& sys, std::uint64_t cycles) {
+  std::ostringstream os;
+  trace_evolution(sys, cycles).print(os);
+  return os.str();
+}
+
+}  // namespace liplib::lip

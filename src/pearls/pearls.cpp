@@ -1,0 +1,334 @@
+#include "liplib/pearls/pearls.hpp"
+
+#include <deque>
+
+namespace liplib::pearls {
+
+namespace {
+
+/// Common base for small stateful pearls: stores the initial output and
+/// implements arity bookkeeping for the 1-in 1-out case.
+class UnaryPearl : public lip::Pearl {
+ public:
+  explicit UnaryPearl(std::uint64_t initial) : init_(initial) {}
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::uint64_t initial_output(std::size_t) const override { return init_; }
+
+ protected:
+  std::uint64_t init_;
+};
+
+class AccumulatorPearl final : public UnaryPearl {
+ public:
+  using UnaryPearl::UnaryPearl;
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    sum_ += in[0];
+    out[0] = sum_;
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<AccumulatorPearl>(init_);
+  }
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+class DelayPearl final : public UnaryPearl {
+ public:
+  DelayPearl(std::size_t depth, std::uint64_t initial)
+      : UnaryPearl(initial), depth_(depth), line_(depth, 0) {}
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    if (line_.empty()) {
+      out[0] = in[0];
+      return;
+    }
+    out[0] = line_.front();
+    line_.pop_front();
+    line_.push_back(in[0]);
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<DelayPearl>(depth_, init_);
+  }
+
+ private:
+  std::size_t depth_;
+  std::deque<std::uint64_t> line_;
+};
+
+class FirPearl final : public UnaryPearl {
+ public:
+  FirPearl(std::vector<std::uint64_t> taps, std::uint64_t initial)
+      : UnaryPearl(initial), taps_(std::move(taps)), hist_(taps_.size(), 0) {
+    LIPLIB_EXPECT(!taps_.empty(), "FIR pearl needs at least one tap");
+  }
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    hist_.pop_back();
+    hist_.push_front(in[0]);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < taps_.size(); ++i) acc += taps_[i] * hist_[i];
+    out[0] = acc;
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<FirPearl>(taps_, init_);
+  }
+
+ private:
+  std::vector<std::uint64_t> taps_;
+  std::deque<std::uint64_t> hist_;
+};
+
+class LeakyIntegratorPearl final : public UnaryPearl {
+ public:
+  LeakyIntegratorPearl(std::uint64_t num, std::uint64_t den,
+                       std::uint64_t initial)
+      : UnaryPearl(initial), num_(num), den_(den) {
+    LIPLIB_EXPECT(den != 0, "leaky integrator with zero denominator");
+  }
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    y_ = (y_ * num_) / den_ + in[0];
+    out[0] = y_;
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<LeakyIntegratorPearl>(num_, den_, init_);
+  }
+
+ private:
+  std::uint64_t num_;
+  std::uint64_t den_;
+  std::uint64_t y_ = 0;
+};
+
+class GeneratorPearl final : public lip::Pearl {
+ public:
+  GeneratorPearl(std::uint64_t seed, std::uint64_t stride)
+      : seed_(seed), stride_(stride), next_(seed + stride) {}
+  std::size_t num_inputs() const override { return 0; }
+  std::size_t num_outputs() const override { return 1; }
+  std::uint64_t initial_output(std::size_t) const override { return seed_; }
+  void step(std::span<const std::uint64_t>,
+            std::span<std::uint64_t> out) override {
+    out[0] = next_;
+    next_ += stride_;
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<GeneratorPearl>(seed_, stride_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stride_;
+  std::uint64_t next_;
+};
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::unique_ptr<lip::Pearl> make_identity(std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      1, 1,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0];
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_add_const(std::uint64_t addend,
+                                           std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      1, 1,
+      [addend](std::span<const std::uint64_t> in,
+               std::span<std::uint64_t> out) { out[0] = in[0] + addend; },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_adder(std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      2, 1,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] + in[1];
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_multiplier(std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      2, 1,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] * in[1];
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_max(std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      2, 1,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] > in[1] ? in[0] : in[1];
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_fork2(std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      1, 2,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0];
+        out[1] = in[0];
+      },
+      std::vector<std::uint64_t>{initial, initial});
+}
+
+std::unique_ptr<lip::Pearl> make_accumulator(std::uint64_t initial) {
+  return std::make_unique<AccumulatorPearl>(initial);
+}
+
+std::unique_ptr<lip::Pearl> make_delay(std::size_t depth,
+                                       std::uint64_t initial) {
+  return std::make_unique<DelayPearl>(depth, initial);
+}
+
+std::unique_ptr<lip::Pearl> make_fir(std::vector<std::uint64_t> taps,
+                                     std::uint64_t initial) {
+  return std::make_unique<FirPearl>(std::move(taps), initial);
+}
+
+std::unique_ptr<lip::Pearl> make_leaky_integrator(std::uint64_t num,
+                                                  std::uint64_t den,
+                                                  std::uint64_t initial) {
+  return std::make_unique<LeakyIntegratorPearl>(num, den, initial);
+}
+
+std::unique_ptr<lip::Pearl> make_bit_mixer(std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      1, 1,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = mix64(in[0]);
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_generator(std::uint64_t seed,
+                                           std::uint64_t stride) {
+  return std::make_unique<GeneratorPearl>(seed, stride);
+}
+
+std::unique_ptr<lip::Pearl> make_butterfly(std::uint64_t initial0,
+                                           std::uint64_t initial1) {
+  return std::make_unique<LambdaPearl>(
+      2, 2,
+      [](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] + in[1];
+        out[1] = in[0] - in[1];
+      },
+      std::vector<std::uint64_t>{initial0, initial1});
+}
+
+std::unique_ptr<lip::Pearl> make_cordic_stage(unsigned k,
+                                              std::uint64_t initial0,
+                                              std::uint64_t initial1) {
+  LIPLIB_EXPECT(k < 64, "CORDIC shift out of range");
+  return std::make_unique<LambdaPearl>(
+      2, 2,
+      [k](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] - (in[1] >> k);
+        out[1] = in[1] + (in[0] >> k);
+      },
+      std::vector<std::uint64_t>{initial0, initial1});
+}
+
+namespace {
+
+class MacPearl final : public lip::Pearl {
+ public:
+  explicit MacPearl(std::uint64_t initial) : init_(initial) {}
+  std::size_t num_inputs() const override { return 2; }
+  std::size_t num_outputs() const override { return 1; }
+  std::uint64_t initial_output(std::size_t) const override { return init_; }
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    acc_ += in[0] * in[1];
+    out[0] = acc_;
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<MacPearl>(init_);
+  }
+
+ private:
+  std::uint64_t init_;
+  std::uint64_t acc_ = 0;
+};
+
+class SequenceTaggerPearl final : public UnaryPearl {
+ public:
+  using UnaryPearl::UnaryPearl;
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    out[0] = (in[0] & 0x00ffffffffffffffull) | (count_ << 56);
+    count_ = (count_ + 1) & 0xff;
+  }
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<SequenceTaggerPearl>(init_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<lip::Pearl> make_mac(std::uint64_t initial) {
+  return std::make_unique<MacPearl>(initial);
+}
+
+std::unique_ptr<lip::Pearl> make_saturate(std::uint64_t cap,
+                                          std::uint64_t initial) {
+  return std::make_unique<LambdaPearl>(
+      1, 1,
+      [cap](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] > cap ? cap : in[0];
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_sequence_tagger(std::uint64_t initial) {
+  return std::make_unique<SequenceTaggerPearl>(initial);
+}
+
+const std::vector<std::string>& unary_pearl_names() {
+  static const std::vector<std::string> names = {
+      "identity", "add_const", "accumulator", "delay",   "fir",
+      "leaky",    "mixer",     "saturate",    "tagger",
+  };
+  return names;
+}
+
+std::unique_ptr<lip::Pearl> make_by_name(const std::string& name,
+                                         std::uint64_t salt) {
+  if (name == "identity") return make_identity(salt & 0xff);
+  if (name == "add_const") return make_add_const(1 + salt % 7, salt & 0xff);
+  if (name == "accumulator") return make_accumulator(salt & 0xff);
+  if (name == "delay") return make_delay(1 + salt % 3, salt & 0xff);
+  if (name == "fir") {
+    return make_fir({1 + salt % 3, 2, 1 + salt % 5}, salt & 0xff);
+  }
+  if (name == "leaky") return make_leaky_integrator(3, 4, salt & 0xff);
+  if (name == "mixer") return make_bit_mixer(salt & 0xff);
+  if (name == "saturate") return make_saturate(1000 + salt % 5000, salt & 0xff);
+  if (name == "tagger") return make_sequence_tagger(salt & 0xff);
+  throw ApiError("unknown pearl name: " + name);
+}
+
+}  // namespace liplib::pearls

@@ -1,0 +1,124 @@
+#include "liplib/pearls/video.hpp"
+
+#include "liplib/pearls/pearls.hpp"
+
+#include <array>
+
+#include "liplib/support/check.hpp"
+
+namespace liplib::pearls {
+
+namespace {
+
+/// Streaming 8-point integer transform, one sample in / one coefficient
+/// out per firing, double-buffered so it sustains full rate.
+class BlockTransform8 final : public lip::Pearl {
+ public:
+  explicit BlockTransform8(std::uint64_t initial) : init_(initial) {}
+
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::uint64_t initial_output(std::size_t) const override { return init_; }
+
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    gather_[phase_] = in[0];
+    out[0] = coeffs_[phase_];
+    if (++phase_ == 8) {
+      phase_ = 0;
+      transform();
+    }
+  }
+
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<BlockTransform8>(init_);
+  }
+
+ private:
+  void transform() {
+    // Integer Walsh–Hadamard transform (wrapping, self-inverse up to a
+    // factor 8): the standard in-place radix-2 butterfly network, so
+    // coefficient 0 is the block sum (DC).
+    std::array<std::uint64_t, 8> a = gather_;
+    for (int len = 1; len < 8; len <<= 1) {
+      for (int i = 0; i < 8; i += len << 1) {
+        for (int j = i; j < i + len; ++j) {
+          const std::uint64_t u = a[j];
+          const std::uint64_t v = a[j + len];
+          a[j] = u + v;
+          a[j + len] = u - v;
+        }
+      }
+    }
+    coeffs_ = a;
+  }
+
+  std::uint64_t init_;
+  unsigned phase_ = 0;
+  std::array<std::uint64_t, 8> gather_{};
+  std::array<std::uint64_t, 8> coeffs_{};
+};
+
+class RleMarker final : public lip::Pearl {
+ public:
+  explicit RleMarker(std::uint64_t initial) : init_(initial) {}
+
+  std::size_t num_inputs() const override { return 1; }
+  std::size_t num_outputs() const override { return 1; }
+  std::uint64_t initial_output(std::size_t) const override { return init_; }
+
+  void step(std::span<const std::uint64_t> in,
+            std::span<std::uint64_t> out) override {
+    constexpr std::uint64_t kRunTag = 0x5a00000000000000ull;
+    constexpr std::uint64_t kDataTag = 0x0100000000000000ull;
+    if (in[0] == 0) {
+      ++run_;
+      out[0] = kRunTag | run_;  // running count; final word wins
+    } else {
+      run_ = 0;
+      out[0] = kDataTag | (in[0] & 0x00ffffffffffffffull);
+    }
+  }
+
+  std::unique_ptr<Pearl> clone_reset() const override {
+    return std::make_unique<RleMarker>(init_);
+  }
+
+ private:
+  std::uint64_t init_;
+  std::uint64_t run_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<lip::Pearl> make_block_transform8(std::uint64_t initial) {
+  return std::make_unique<BlockTransform8>(initial);
+}
+
+std::unique_ptr<lip::Pearl> make_quantizer(std::uint64_t q,
+                                           std::uint64_t initial) {
+  LIPLIB_EXPECT(q >= 1, "quantizer step must be >= 1");
+  return std::make_unique<LambdaPearl>(
+      1, 1,
+      [q](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = in[0] / q;
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+std::unique_ptr<lip::Pearl> make_rle_marker(std::uint64_t initial) {
+  return std::make_unique<RleMarker>(initial);
+}
+
+std::unique_ptr<lip::Pearl> make_blender(std::uint64_t w,
+                                         std::uint64_t initial) {
+  LIPLIB_EXPECT(w <= 256, "blend weight must be in [0,256]");
+  return std::make_unique<LambdaPearl>(
+      2, 1,
+      [w](std::span<const std::uint64_t> in, std::span<std::uint64_t> out) {
+        out[0] = (in[0] * w + in[1] * (256 - w)) / 256;
+      },
+      std::vector<std::uint64_t>{initial});
+}
+
+}  // namespace liplib::pearls

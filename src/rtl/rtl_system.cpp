@@ -1,0 +1,513 @@
+#include "liplib/rtl/rtl_system.hpp"
+
+#include <functional>
+#include <memory>
+
+#include "liplib/support/check.hpp"
+#include "liplib/support/vcd.hpp"
+
+namespace liplib::rtl {
+
+namespace {
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+}
+
+using sim::Signal;
+using sim::SimContext;
+
+/// One hop of a channel: the forward valid/data pair and the backward
+/// stop wire, as RTL signals.
+struct SegWires {
+  Signal<bool>* valid = nullptr;
+  Signal<std::uint64_t>* data = nullptr;
+  Signal<bool>* stop = nullptr;
+};
+
+struct RtlSystem::Impl {
+  explicit Impl(const graph::Topology& t, RtlOptions o)
+      : topo(t), opts(o), clk(ctx, "clk", 1, 1) {}
+
+  bool strict() const {
+    return opts.policy == lip::StopPolicy::kCarloniStrict;
+  }
+
+  graph::Topology topo;
+  RtlOptions opts;
+  SimContext ctx;
+  sim::Clock clk;
+
+  std::vector<SegWires> segs;
+
+  struct ShellBlock {
+    graph::NodeId node = 0;
+    std::unique_ptr<lip::Pearl> pearl;
+    std::vector<std::size_t> in_seg;
+    // One output port: registered data + per-branch pending mask, as
+    // signals so the combinational presentation logic can react.
+    struct Port {
+      Signal<std::uint64_t>* reg = nullptr;
+      Signal<std::uint32_t>* pend = nullptr;
+      std::vector<std::size_t> branch;
+    };
+    std::vector<Port> out;
+    std::uint64_t fires = 0;
+    std::vector<std::uint64_t> in_scratch, out_scratch;
+  };
+  struct StationBlock {
+    graph::RsKind kind = graph::RsKind::kFull;
+    std::size_t in_seg = 0, out_seg = 0;
+    // Full station internal registers live as process state; half
+    // stations expose occupancy/front-validity as signals for the
+    // combinational stop path.
+    lip::Token slot[2];
+    unsigned occ = 0;
+    bool stop_reg = false;
+    Signal<bool>* occupied = nullptr;     // half only
+    Signal<bool>* front_valid = nullptr;  // half only
+  };
+  struct SourceBlock {
+    graph::NodeId node = 0;
+    lip::SourceBehavior behavior;
+    Signal<std::uint64_t>* reg = nullptr;
+    Signal<std::uint32_t>* pend = nullptr;
+    std::vector<std::size_t> branch;
+    std::uint64_t emitted = 0;
+    std::uint64_t cycle = 0;
+  };
+  struct SinkBlock {
+    graph::NodeId node = 0;
+    lip::SinkBehavior behavior;
+    std::size_t in_seg = 0;
+    Signal<bool>* stop_state = nullptr;  // registered external stop
+    std::uint64_t cycle = 0;
+    std::vector<lip::Token> stream;
+    std::vector<lip::Token> trace;
+  };
+
+  std::vector<ShellBlock> shells;
+  std::vector<StationBlock> stations;
+  std::vector<SourceBlock> sources;
+  std::vector<SinkBlock> sinks;
+  std::vector<std::size_t> node_index;
+  bool elaborated = false;
+  std::unique_ptr<VcdWriter> vcd;
+
+  void build_structure();
+  void elaborate_blocks();
+  bool shell_can_fire(const ShellBlock& s) const;
+};
+
+void RtlSystem::Impl::build_structure() {
+  node_index.assign(topo.nodes().size(), kNoIndex);
+  for (graph::NodeId v = 0; v < topo.nodes().size(); ++v) {
+    const auto& node = topo.node(v);
+    switch (node.kind) {
+      case graph::NodeKind::kProcess: {
+        ShellBlock b;
+        b.node = v;
+        b.in_seg.assign(node.num_inputs, 0);
+        b.out.resize(node.num_outputs);
+        b.in_scratch.assign(node.num_inputs, 0);
+        b.out_scratch.assign(node.num_outputs, 0);
+        node_index[v] = shells.size();
+        shells.push_back(std::move(b));
+        break;
+      }
+      case graph::NodeKind::kSource: {
+        SourceBlock b;
+        b.node = v;
+        b.behavior = lip::SourceBehavior::counter();
+        node_index[v] = sources.size();
+        sources.push_back(std::move(b));
+        break;
+      }
+      case graph::NodeKind::kSink: {
+        SinkBlock b;
+        b.node = v;
+        b.behavior = lip::SinkBehavior::greedy();
+        node_index[v] = sinks.size();
+        sinks.push_back(std::move(b));
+        break;
+      }
+    }
+  }
+  for (graph::ChannelId c = 0; c < topo.channels().size(); ++c) {
+    const auto& ch = topo.channel(c);
+    std::vector<std::size_t> ids;
+    for (std::size_t h = 0; h <= ch.num_stations(); ++h) {
+      const std::string base = "ch" + std::to_string(c) + "_h" +
+                               std::to_string(h);
+      SegWires w;
+      w.valid = &ctx.signal<bool>(base + ".valid", false);
+      w.data = &ctx.signal<std::uint64_t>(base + ".data", 0);
+      w.stop = &ctx.signal<bool>(base + ".stop", false);
+      ids.push_back(segs.size());
+      segs.push_back(w);
+    }
+    const auto& from_node = topo.node(ch.from.node);
+    if (from_node.kind == graph::NodeKind::kProcess) {
+      shells[node_index[ch.from.node]].out[ch.from.port].branch.push_back(
+          ids.front());
+    } else {
+      sources[node_index[ch.from.node]].branch.push_back(ids.front());
+    }
+    for (std::size_t i = 0; i < ch.num_stations(); ++i) {
+      StationBlock st;
+      st.kind = ch.stations[i];
+      st.in_seg = ids[i];
+      st.out_seg = ids[i + 1];
+      if (strict()) {
+        st.slot[0] = lip::Token::make_void();
+        st.occ = 1;
+      }
+      stations.push_back(st);
+    }
+    const auto& to_node = topo.node(ch.to.node);
+    if (to_node.kind == graph::NodeKind::kProcess) {
+      shells[node_index[ch.to.node]].in_seg[ch.to.port] = ids.back();
+    } else {
+      sinks[node_index[ch.to.node]].in_seg = ids.back();
+    }
+  }
+}
+
+bool RtlSystem::Impl::shell_can_fire(const ShellBlock& s) const {
+  for (std::size_t in : s.in_seg) {
+    if (!segs[in].valid->read()) return false;
+  }
+  for (const auto& port : s.out) {
+    const std::uint32_t pend = port.pend->read();
+    for (std::size_t b = 0; b < port.branch.size(); ++b) {
+      const bool stopped = segs[port.branch[b]].stop->read();
+      if (strict() ? stopped : (stopped && ((pend >> b) & 1u))) return false;
+    }
+  }
+  return true;
+}
+
+void RtlSystem::Impl::elaborate_blocks() {
+  // ---- shells ---------------------------------------------------------
+  for (auto& s : shells) {
+    LIPLIB_EXPECT(s.pearl != nullptr,
+                  "process node " + topo.node(s.node).name +
+                      " has no pearl bound");
+    const std::string name = topo.node(s.node).name;
+    for (std::size_t m = 0; m < s.out.size(); ++m) {
+      auto& port = s.out[m];
+      LIPLIB_EXPECT(port.branch.size() < 32, "fanout too wide");
+      const std::uint32_t full =
+          port.branch.empty() ? 0u : ((1u << port.branch.size()) - 1);
+      port.reg = &ctx.signal<std::uint64_t>(
+          name + ".reg" + std::to_string(m), s.pearl->initial_output(m));
+      port.pend = &ctx.signal<std::uint32_t>(
+          name + ".pend" + std::to_string(m), full);
+    }
+    ShellBlock* sp = &s;
+
+    // Combinational: presentation of every branch plus back pressure on
+    // every input.
+    auto& comb = ctx.process(name + ".comb", [this, sp] {
+      const bool fire = shell_can_fire(*sp);
+      for (auto& port : sp->out) {
+        const std::uint32_t pend = port.pend->read();
+        for (std::size_t b = 0; b < port.branch.size(); ++b) {
+          segs[port.branch[b]].valid->write(((pend >> b) & 1u) != 0);
+          segs[port.branch[b]].data->write(port.reg->read());
+        }
+      }
+      for (std::size_t in : sp->in_seg) {
+        segs[in].stop->write(!fire && segs[in].valid->read());
+      }
+    });
+    for (std::size_t in : s.in_seg) {
+      ctx.sensitize(comb, *segs[in].valid);
+    }
+    for (auto& port : s.out) {
+      ctx.sensitize(comb, *port.pend);
+      ctx.sensitize(comb, *port.reg);
+      for (std::size_t b : port.branch) ctx.sensitize(comb, *segs[b].stop);
+    }
+
+    // Clocked: consume delivered branches, fire the pearl.
+    auto& seq = ctx.process(name + ".seq", [this, sp] {
+      if (!clk.signal().posedge()) return;
+      const bool fire = shell_can_fire(*sp);
+      for (auto& port : sp->out) {
+        std::uint32_t pend = port.pend->read();
+        for (std::size_t b = 0; b < port.branch.size(); ++b) {
+          if (((pend >> b) & 1u) && !segs[port.branch[b]].stop->read()) {
+            pend &= ~(1u << b);
+          }
+        }
+        port.pend->write(pend);
+      }
+      if (fire) {
+        for (std::size_t i = 0; i < sp->in_seg.size(); ++i) {
+          sp->in_scratch[i] = segs[sp->in_seg[i]].data->read();
+        }
+        sp->pearl->step(sp->in_scratch, sp->out_scratch);
+        for (std::size_t m = 0; m < sp->out.size(); ++m) {
+          auto& port = sp->out[m];
+          port.reg->write(sp->out_scratch[m]);
+          const std::uint32_t full =
+              port.branch.empty() ? 0u : ((1u << port.branch.size()) - 1);
+          port.pend->write(full);
+        }
+        ++sp->fires;
+      }
+    });
+    ctx.sensitize(seq, clk.signal());
+  }
+
+  // ---- relay stations -------------------------------------------------
+  for (std::size_t k = 0; k < stations.size(); ++k) {
+    StationBlock* st = &stations[k];
+    const std::string name = "rs" + std::to_string(k);
+    if (st->kind == graph::RsKind::kHalf) {
+      st->occupied = &ctx.signal<bool>(name + ".occ", st->occ > 0);
+      st->front_valid =
+          &ctx.signal<bool>(name + ".fv", st->occ > 0 && st->slot[0].valid);
+      // Combinational stop gating: the half station forwards the stop
+      // upstream whenever it holds a token it must keep.
+      auto& comb = ctx.process(name + ".comb", [this, st] {
+        const bool s_eff =
+            strict() ? segs[st->out_seg].stop->read()
+                     : (segs[st->out_seg].stop->read() &&
+                        st->front_valid->read());
+        segs[st->in_seg].stop->write(st->occupied->read() && s_eff);
+      });
+      ctx.sensitize(comb, *segs[st->out_seg].stop);
+      ctx.sensitize(comb, *st->occupied);
+      ctx.sensitize(comb, *st->front_valid);
+    }
+    auto& seq = ctx.process(name + ".seq", [this, st] {
+      if (!clk.signal().posedge()) return;
+      const lip::Token in{segs[st->in_seg].data->read(),
+                          segs[st->in_seg].valid->read()};
+      const bool front_valid = st->occ > 0 && st->slot[0].valid;
+      const bool s_eff = strict()
+                             ? segs[st->out_seg].stop->read()
+                             : (segs[st->out_seg].stop->read() && front_valid);
+      const bool consumed = st->occ > 0 && !s_eff;
+      if (st->kind == graph::RsKind::kFull) {
+        const bool accept = !st->stop_reg && (strict() || in.valid);
+        if (consumed) {
+          st->slot[0] = st->slot[1];
+          --st->occ;
+        }
+        if (accept) {
+          LIPLIB_ENSURE(st->occ < 2, "RTL full relay station overflow");
+          st->slot[st->occ] = in;
+          ++st->occ;
+        }
+        st->stop_reg = (st->occ == 2);
+        segs[st->in_seg].stop->write(st->stop_reg);
+      } else {
+        const bool stop_up = st->occ > 0 && s_eff;
+        const bool accept = !stop_up && (strict() || in.valid);
+        if (consumed) st->occ = 0;
+        if (accept) {
+          LIPLIB_ENSURE(st->occ == 0, "RTL half relay station overflow");
+          st->slot[0] = in;
+          st->occ = 1;
+        }
+        st->occupied->write(st->occ > 0);
+        st->front_valid->write(st->occ > 0 && st->slot[0].valid);
+      }
+      segs[st->out_seg].valid->write(st->occ > 0 && st->slot[0].valid);
+      segs[st->out_seg].data->write(st->occ > 0 ? st->slot[0].data : 0);
+    });
+    ctx.sensitize(seq, clk.signal());
+    // Initial presentation (registered outputs start void; full stop
+    // registers start deasserted) matches the signals' initial values.
+  }
+
+  // ---- sources ----------------------------------------------------------
+  for (auto& s : sources) {
+    const std::string name = topo.node(s.node).name;
+    LIPLIB_EXPECT(s.branch.size() < 32, "source fanout too wide");
+    const std::uint32_t full =
+        s.branch.empty() ? 0u : ((1u << s.branch.size()) - 1);
+    const bool ready0 = s.behavior.ready(0);
+    s.reg = &ctx.signal<std::uint64_t>(name + ".reg",
+                                       ready0 ? s.behavior.value(0) : 0);
+    s.pend = &ctx.signal<std::uint32_t>(name + ".pend", ready0 ? full : 0);
+    if (ready0) s.emitted = 1;
+    SourceBlock* sp = &s;
+
+    auto& comb = ctx.process(name + ".comb", [this, sp] {
+      const std::uint32_t pend = sp->pend->read();
+      for (std::size_t b = 0; b < sp->branch.size(); ++b) {
+        segs[sp->branch[b]].valid->write(((pend >> b) & 1u) != 0);
+        segs[sp->branch[b]].data->write(sp->reg->read());
+      }
+    });
+    ctx.sensitize(comb, *s.pend);
+    ctx.sensitize(comb, *s.reg);
+
+    auto& seq = ctx.process(name + ".seq", [this, sp, full] {
+      if (!clk.signal().posedge()) return;
+      std::uint32_t pend = sp->pend->read();
+      for (std::size_t b = 0; b < sp->branch.size(); ++b) {
+        if (((pend >> b) & 1u) && !segs[sp->branch[b]].stop->read()) {
+          pend &= ~(1u << b);
+        }
+      }
+      if (pend == 0 && sp->behavior.ready(sp->cycle + 1)) {
+        sp->reg->write(sp->behavior.value(sp->emitted));
+        ++sp->emitted;
+        pend = full;
+      }
+      sp->pend->write(pend);
+      ++sp->cycle;
+    });
+    ctx.sensitize(seq, clk.signal());
+  }
+
+  // ---- sinks ------------------------------------------------------------
+  for (auto& s : sinks) {
+    const std::string name = topo.node(s.node).name;
+    s.stop_state = &ctx.signal<bool>(name + ".stop", s.behavior.stop(0));
+    SinkBlock* sp = &s;
+
+    auto& comb = ctx.process(name + ".comb", [this, sp] {
+      segs[sp->in_seg].stop->write(sp->stop_state->read());
+    });
+    ctx.sensitize(comb, *s.stop_state);
+
+    auto& seq = ctx.process(name + ".seq", [this, sp] {
+      if (!clk.signal().posedge()) return;
+      const lip::Token f{segs[sp->in_seg].data->read(),
+                         segs[sp->in_seg].valid->read()};
+      sp->trace.push_back(f.valid ? f : lip::Token::make_void());
+      if (f.valid && !sp->stop_state->read()) sp->stream.push_back(f);
+      ++sp->cycle;
+      sp->stop_state->write(sp->behavior.stop(sp->cycle));
+    });
+    ctx.sensitize(seq, clk.signal());
+  }
+
+  elaborated = true;
+}
+
+RtlSystem::RtlSystem(const graph::Topology& topo, RtlOptions opts)
+    : impl_(std::make_unique<Impl>(topo, opts)) {
+  const auto report = impl_->topo.validate();
+  LIPLIB_EXPECT(report.ok(),
+                "topology has structural errors:\n" + report.to_string());
+  impl_->build_structure();
+}
+
+RtlSystem::~RtlSystem() = default;
+
+void RtlSystem::bind_pearl(graph::NodeId node,
+                           std::unique_ptr<lip::Pearl> pearl) {
+  LIPLIB_EXPECT(!impl_->elaborated, "bind after first run");
+  LIPLIB_EXPECT(node < impl_->topo.nodes().size() &&
+                    impl_->topo.node(node).kind == graph::NodeKind::kProcess,
+                "bind_pearl target is not a process node");
+  LIPLIB_EXPECT(pearl != nullptr, "null pearl");
+  LIPLIB_EXPECT(
+      pearl->num_inputs() == impl_->topo.node(node).num_inputs &&
+          pearl->num_outputs() == impl_->topo.node(node).num_outputs,
+      "pearl arity does not match node");
+  impl_->shells[impl_->node_index[node]].pearl = std::move(pearl);
+}
+
+void RtlSystem::bind_source(graph::NodeId node,
+                            lip::SourceBehavior behavior) {
+  LIPLIB_EXPECT(!impl_->elaborated, "bind after first run");
+  LIPLIB_EXPECT(node < impl_->topo.nodes().size() &&
+                    impl_->topo.node(node).kind == graph::NodeKind::kSource,
+                "bind_source target is not a source node");
+  impl_->sources[impl_->node_index[node]].behavior = std::move(behavior);
+}
+
+void RtlSystem::bind_sink(graph::NodeId node, lip::SinkBehavior behavior) {
+  LIPLIB_EXPECT(!impl_->elaborated, "bind after first run");
+  LIPLIB_EXPECT(node < impl_->topo.nodes().size() &&
+                    impl_->topo.node(node).kind == graph::NodeKind::kSink,
+                "bind_sink target is not a sink node");
+  impl_->sinks[impl_->node_index[node]].behavior = std::move(behavior);
+}
+
+void RtlSystem::attach_vcd(std::ostream& os) {
+  LIPLIB_EXPECT(!impl_->elaborated, "attach_vcd after first run");
+  LIPLIB_EXPECT(impl_->vcd == nullptr, "attach_vcd called twice");
+  auto& impl = *impl_;
+  impl.vcd = std::make_unique<VcdWriter>(os, "lid");
+  VcdWriter& w = *impl.vcd;
+  sim::SimContext& ctx = impl.ctx;
+
+  auto trace_bool = [&](Signal<bool>& sig, const std::string& name) {
+    const auto id = w.add_signal(name, 1);
+    ctx.on_change(sig, [&w, &ctx, &sig, id] {
+      w.set_time(ctx.now());
+      w.change(id, sig.read() ? 1 : 0);
+    });
+  };
+  auto trace_data = [&](Signal<std::uint64_t>& sig, const std::string& name) {
+    const auto id = w.add_signal(name, 32);
+    ctx.on_change(sig, [&w, &ctx, &sig, id] {
+      w.set_time(ctx.now());
+      w.change(id, sig.read());
+    });
+  };
+
+  trace_bool(impl.clk.signal(), "clk");
+  for (graph::ChannelId c = 0; c < impl.topo.channels().size(); ++c) {
+    const auto& ch = impl.topo.channel(c);
+    const std::string base = impl.topo.node(ch.from.node).name + "_to_" +
+                             impl.topo.node(ch.to.node).name;
+    // Recover this channel's wires: hop signals were created in channel
+    // order, so rebuild the mapping by walking the same structure.
+    // (SegWires are stored flat; recompute the base index.)
+    std::size_t seg = 0;
+    for (graph::ChannelId prev = 0; prev < c; ++prev) {
+      seg += impl.topo.channel(prev).num_stations() + 1;
+    }
+    for (std::size_t h = 0; h <= ch.num_stations(); ++h, ++seg) {
+      const std::string hop = base + "_h" + std::to_string(h);
+      trace_bool(*impl.segs[seg].valid, hop + "_valid");
+      trace_data(*impl.segs[seg].data, hop + "_data");
+      trace_bool(*impl.segs[seg].stop, hop + "_stop");
+    }
+  }
+  w.begin_dump();
+}
+
+void RtlSystem::run_cycles(std::uint64_t n) {
+  if (!impl_->elaborated) impl_->elaborate_blocks();
+  cycles_ += n;
+  // Rising edges occur at odd times 1, 3, 5, ...; cycle k completes at
+  // its edge (time 2k+1) plus the following settle, so running to time
+  // 2*cycles_ covers exactly cycles_ complete cycles.
+  impl_->ctx.run_until(2 * cycles_);
+}
+
+const std::vector<lip::Token>& RtlSystem::sink_stream(
+    graph::NodeId sink) const {
+  LIPLIB_EXPECT(sink < impl_->topo.nodes().size() &&
+                    impl_->topo.node(sink).kind == graph::NodeKind::kSink,
+                "node is not a sink");
+  return impl_->sinks[impl_->node_index[sink]].stream;
+}
+
+const std::vector<lip::Token>& RtlSystem::sink_cycle_trace(
+    graph::NodeId sink) const {
+  LIPLIB_EXPECT(sink < impl_->topo.nodes().size() &&
+                    impl_->topo.node(sink).kind == graph::NodeKind::kSink,
+                "node is not a sink");
+  return impl_->sinks[impl_->node_index[sink]].trace;
+}
+
+std::uint64_t RtlSystem::shell_fire_count(graph::NodeId shell) const {
+  LIPLIB_EXPECT(shell < impl_->topo.nodes().size() &&
+                    impl_->topo.node(shell).kind == graph::NodeKind::kProcess,
+                "node is not a process");
+  return impl_->shells[impl_->node_index[shell]].fires;
+}
+
+sim::SimContext& RtlSystem::context() { return impl_->ctx; }
+
+}  // namespace liplib::rtl

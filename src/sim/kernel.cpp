@@ -1,0 +1,138 @@
+#include "liplib/sim/kernel.hpp"
+
+#include <algorithm>
+
+namespace liplib::sim {
+
+SignalBase::SignalBase(SimContext& ctx, std::string name)
+    : ctx_(ctx), name_(std::move(name)) {}
+
+bool SignalBase::event() const {
+  return change_stamp_ != 0 && change_stamp_ == ctx_.service_stamp_;
+}
+
+void SignalBase::register_pending() {
+  if (!in_pending_list_) {
+    in_pending_list_ = true;
+    ctx_.add_pending(*this);
+  }
+}
+
+Process& SimContext::process(std::string name, std::function<void()> body) {
+  LIPLIB_EXPECT(!elaborated_, "process added after elaboration");
+  processes_.push_back(
+      std::make_unique<Process>(std::move(name), std::move(body)));
+  return *processes_.back();
+}
+
+void SimContext::sensitize(Process& proc, const SignalBase& sig) {
+  LIPLIB_EXPECT(!elaborated_, "sensitize after elaboration");
+  proc.sensitivity_.push_back(&sig);
+  sensitivity_.emplace(&sig, &proc);
+}
+
+void SimContext::on_change(const SignalBase& sig,
+                           std::function<void()> hook) {
+  change_hooks_.emplace(&sig, std::move(hook));
+}
+
+void SimContext::schedule_at(Time t, std::function<void()> load_pending) {
+  LIPLIB_EXPECT(t >= now_, "cannot schedule in the past");
+  calendar_.emplace(t, std::move(load_pending));
+}
+
+void SimContext::elaborate() {
+  if (elaborated_) return;
+  elaborated_ = true;
+  // Run every process once, as VHDL runs each process up to its first
+  // wait statement at time zero.
+  for (auto& p : processes_) p->body_();
+  // Settle any writes the elaboration performed.
+  service_current_time();
+}
+
+void SimContext::service_current_time() {
+  std::uint64_t deltas_here = 0;
+  while (!pending_signals_.empty()) {
+    LIPLIB_ENSURE(++deltas_here <= delta_limit_,
+                  "delta-cycle limit exceeded at time " +
+                      std::to_string(now_) +
+                      " (combinational oscillation?)");
+    ++delta_stamp_;
+    service_stamp_ = delta_stamp_;
+
+    std::vector<SignalBase*> batch;
+    batch.swap(pending_signals_);
+    std::vector<SignalBase*> changed;
+    for (SignalBase* sig : batch) {
+      sig->in_pending_list_ = false;
+      if (sig->apply_pending()) {
+        sig->change_stamp_ = delta_stamp_;
+        changed.push_back(sig);
+      }
+    }
+
+    // Wake processes; dedupe with the per-process wake stamp so that a
+    // process sensitive to several changed signals runs once per delta.
+    std::vector<Process*> wakeups;
+    for (SignalBase* sig : changed) {
+      auto [lo, hi] = sensitivity_.equal_range(sig);
+      for (auto it = lo; it != hi; ++it) {
+        Process* p = it->second;
+        if (p->wake_stamp_ != delta_stamp_) {
+          p->wake_stamp_ = delta_stamp_;
+          wakeups.push_back(p);
+        }
+      }
+    }
+    for (SignalBase* sig : changed) {
+      auto [lo, hi] = change_hooks_.equal_range(sig);
+      for (auto it = lo; it != hi; ++it) it->second();
+    }
+    for (Process* p : wakeups) p->body_();
+  }
+}
+
+void SimContext::run_until(Time t_end) {
+  elaborate();
+  while (!calendar_.empty() && calendar_.begin()->first <= t_end) {
+    now_ = calendar_.begin()->first;
+    while (!calendar_.empty() && calendar_.begin()->first == now_) {
+      auto node = calendar_.extract(calendar_.begin());
+      node.mapped()();
+    }
+    service_current_time();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+Time SimContext::run_steps(std::uint64_t n) {
+  elaborate();
+  for (std::uint64_t i = 0; i < n && !calendar_.empty(); ++i) {
+    now_ = calendar_.begin()->first;
+    while (!calendar_.empty() && calendar_.begin()->first == now_) {
+      auto node = calendar_.extract(calendar_.begin());
+      node.mapped()();
+    }
+    service_current_time();
+  }
+  return now_;
+}
+
+Clock::Clock(SimContext& ctx, std::string name, Time half_period, Time phase)
+    : clk_(ctx.signal<bool>(std::move(name), false)) {
+  LIPLIB_EXPECT(half_period >= 1, "clock half period must be >= 1");
+  // A self-rescheduling process: on every edge of clk, schedule the
+  // opposite value half a period later.  The first rising edge is kicked
+  // off at `phase` during elaboration.
+  Process& p = ctx.process(clk_.name() + ".gen", [this, half_period, phase] {
+    if (clk_.event()) {
+      clk_.write_after(!clk_.read(), half_period);
+    } else {
+      clk_.write_after(true, phase);  // elaboration run
+    }
+  });
+  ctx.sensitize(p, clk_);
+}
+
+}  // namespace liplib::sim

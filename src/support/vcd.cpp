@@ -1,0 +1,88 @@
+#include "liplib/support/vcd.hpp"
+
+#include "liplib/support/check.hpp"
+
+namespace liplib {
+
+VcdWriter::VcdWriter(std::ostream& os, std::string scope_name)
+    : os_(os), scope_(std::move(scope_name)) {
+  os_ << "$timescale 1ns $end\n";
+  os_ << "$scope module " << scope_ << " $end\n";
+}
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // VCD identifier characters are the printable ASCII range '!'..'~'.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+VcdWriter::SignalId VcdWriter::add_signal(const std::string& name,
+                                          unsigned width) {
+  LIPLIB_EXPECT(!dumping_, "add_signal after begin_dump");
+  LIPLIB_EXPECT(width >= 1 && width <= 64, "signal width must be in [1,64]");
+  Signal s;
+  s.code = id_code(signals_.size());
+  s.width = width;
+  os_ << "$var wire " << width << ' ' << s.code << ' ' << name << " $end\n";
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+void VcdWriter::begin_dump() {
+  LIPLIB_EXPECT(!dumping_, "begin_dump called twice");
+  os_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& s : signals_) {
+    if (s.width == 1) {
+      os_ << 'x' << s.code << '\n';
+    } else {
+      os_ << "bx " << s.code << '\n';
+    }
+  }
+  os_ << "$end\n";
+  dumping_ = true;
+}
+
+void VcdWriter::set_time(std::uint64_t t) {
+  LIPLIB_EXPECT(dumping_, "set_time before begin_dump");
+  LIPLIB_EXPECT(t >= time_, "VCD time must be monotone");
+  if (t != time_ || !time_written_) {
+    time_ = t;
+    time_written_ = false;  // lazily written on first change at this time
+  }
+}
+
+void VcdWriter::emit(const Signal& s, std::uint64_t value) {
+  if (!time_written_) {
+    os_ << '#' << time_ << '\n';
+    time_written_ = true;
+  }
+  if (s.width == 1) {
+    os_ << (value & 1 ? '1' : '0') << s.code << '\n';
+  } else {
+    os_ << 'b';
+    bool leading = true;
+    for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+      const bool one = (value >> bit) & 1;
+      if (one) leading = false;
+      if (!leading || bit == 0) os_ << (one ? '1' : '0');
+    }
+    os_ << ' ' << s.code << '\n';
+  }
+}
+
+void VcdWriter::change(SignalId id, std::uint64_t value) {
+  LIPLIB_EXPECT(dumping_, "change before begin_dump");
+  LIPLIB_EXPECT(id < signals_.size(), "unknown VCD signal id");
+  Signal& s = signals_[id];
+  if (s.width < 64) value &= (1ull << s.width) - 1;
+  if (s.has_last && s.last == value) return;
+  s.last = value;
+  s.has_last = true;
+  emit(s, value);
+}
+
+}  // namespace liplib

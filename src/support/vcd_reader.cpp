@@ -1,0 +1,130 @@
+#include "liplib/support/vcd_reader.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "liplib/support/check.hpp"
+
+namespace liplib {
+
+VcdDump VcdDump::parse(std::istream& in) {
+  VcdDump dump;
+  std::string scope;
+  std::string tok;
+  std::uint64_t now = 0;
+  bool in_definitions = true;
+
+  auto signal_index = [&](const std::string& code) -> std::size_t {
+    const auto it = dump.by_code_.find(code);
+    LIPLIB_EXPECT(it != dump.by_code_.end(),
+                  "VCD change for undeclared identifier '" + code + "'");
+    return it->second;
+  };
+
+  while (in >> tok) {
+    if (tok == "$scope") {
+      std::string kind, name, end;
+      LIPLIB_EXPECT(static_cast<bool>(in >> kind >> name >> end) &&
+                        end == "$end",
+                    "malformed $scope");
+      scope = name;
+    } else if (tok == "$upscope") {
+      std::string end;
+      in >> end;
+      scope.clear();
+    } else if (tok == "$var") {
+      std::string type, width, code, name, end;
+      LIPLIB_EXPECT(
+          static_cast<bool>(in >> type >> width >> code >> name >> end) &&
+              end == "$end",
+          "malformed $var");
+      const std::string full = scope.empty() ? name : scope + "." + name;
+      LIPLIB_EXPECT(!dump.by_name_.contains(full),
+                    "duplicate VCD signal " + full);
+      LIPLIB_EXPECT(!dump.by_code_.contains(code),
+                    "duplicate VCD identifier " + code);
+      const std::size_t idx = dump.changes_.size();
+      dump.by_name_.emplace(full, idx);
+      dump.by_code_.emplace(code, idx);
+      dump.changes_.emplace_back();
+    } else if (tok == "$enddefinitions") {
+      std::string end;
+      in >> end;
+      in_definitions = false;
+    } else if (tok == "$dumpvars" || tok == "$end") {
+      // $dumpvars contents are ordinary value changes (the initial
+      // values); parse them inline, and let the closing $end pass.
+    } else if (tok[0] == '$') {
+      // Skip other sections ($timescale, $comment, ...) up to $end.
+      std::string skip;
+      while (in >> skip && skip != "$end") {
+      }
+    } else if (tok[0] == '#') {
+      now = std::stoull(tok.substr(1));
+      dump.end_time_ = std::max(dump.end_time_, now);
+    } else if (tok[0] == 'b' || tok[0] == 'B') {
+      std::string code;
+      LIPLIB_EXPECT(static_cast<bool>(in >> code),
+                    "vector change without identifier");
+      const std::string bits = tok.substr(1);
+      Change ch{now, std::nullopt};
+      if (bits.find_first_of("xXzZ") == std::string::npos) {
+        std::uint64_t v = 0;
+        for (char b : bits) {
+          LIPLIB_EXPECT(b == '0' || b == '1', "bad vector bit");
+          v = (v << 1) | static_cast<std::uint64_t>(b - '0');
+        }
+        ch.value = v;
+      }
+      dump.changes_[signal_index(code)].push_back(ch);
+    } else if (tok[0] == '0' || tok[0] == '1' || tok[0] == 'x' ||
+               tok[0] == 'X' || tok[0] == 'z' || tok[0] == 'Z') {
+      LIPLIB_EXPECT(tok.size() >= 2, "scalar change without identifier");
+      Change ch{now, std::nullopt};
+      if (tok[0] == '0' || tok[0] == '1') {
+        ch.value = static_cast<std::uint64_t>(tok[0] - '0');
+      }
+      dump.changes_[signal_index(tok.substr(1))].push_back(ch);
+    } else {
+      LIPLIB_EXPECT(in_definitions, "unrecognized VCD token '" + tok + "'");
+    }
+  }
+  return dump;
+}
+
+VcdDump VcdDump::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::vector<std::string> VcdDump::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, idx] : by_name_) names.push_back(name);
+  return names;
+}
+
+bool VcdDump::has_signal(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+const std::vector<VcdDump::Change>& VcdDump::changes(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  LIPLIB_EXPECT(it != by_name_.end(), "unknown VCD signal " + name);
+  return changes_[it->second];
+}
+
+std::optional<std::uint64_t> VcdDump::value_at(const std::string& name,
+                                               std::uint64_t t) const {
+  const auto& list = changes(name);
+  std::optional<std::uint64_t> value;
+  for (const auto& ch : list) {
+    if (ch.time > t) break;
+    value = ch.value;
+  }
+  return value;
+}
+
+}  // namespace liplib

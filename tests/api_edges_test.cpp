@@ -1,0 +1,135 @@
+// API-contract edge cases: misuse is rejected loudly and early, across
+// the public entry points.
+
+#include <gtest/gtest.h>
+
+#include "liplib/graph/generators.hpp"
+#include "liplib/lip/design.hpp"
+#include "liplib/lip/reference.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace liplib;
+
+TEST(ApiEdges, DesignRejectsWrongNodeKinds) {
+  auto gen = graph::make_pipeline(1, 1);
+  lip::Design d(gen.topo);
+  EXPECT_THROW(d.set_pearl(gen.sources[0], pearls::make_identity()),
+               ApiError);
+  EXPECT_THROW(d.set_pearl(gen.sinks[0], pearls::make_identity()), ApiError);
+  lip::System sys(gen.topo);
+  EXPECT_THROW(sys.bind_source(gen.processes[0],
+                               lip::SourceBehavior::counter()),
+               ApiError);
+  EXPECT_THROW(sys.bind_sink(gen.sources[0], lip::SinkBehavior::greedy()),
+               ApiError);
+  EXPECT_THROW(sys.bind_pearl(gen.processes[0], nullptr), ApiError);
+}
+
+TEST(ApiEdges, BindAfterFinalizeRejected) {
+  auto gen = graph::make_pipeline(1, 1);
+  auto d = testutil::make_design(gen);
+  auto sys = d.instantiate();  // finalizes
+  EXPECT_THROW(sys->bind_pearl(gen.processes[0], pearls::make_identity()),
+               ApiError);
+  EXPECT_THROW(sys->bind_source(gen.sources[0],
+                                lip::SourceBehavior::counter()),
+               ApiError);
+}
+
+TEST(ApiEdges, AccessorsValidateNodeKinds) {
+  auto gen = graph::make_pipeline(1, 1);
+  auto d = testutil::make_design(gen);
+  auto sys = d.instantiate();
+  sys->run(5);
+  EXPECT_THROW(sys->sink_stream(gen.processes[0]), ApiError);
+  EXPECT_THROW(sys->shell_fire_count(gen.sinks[0]), ApiError);
+  EXPECT_THROW(sys->shell_activity(gen.sources[0]), ApiError);
+  EXPECT_THROW(sys->channel_view(999), ApiError);
+  EXPECT_THROW(sys->segment_stats(999), ApiError);
+}
+
+TEST(ApiEdges, FanoutBeyond32Rejected) {
+  graph::Topology t;
+  const auto src = t.add_source("src");
+  std::vector<graph::NodeId> sinks;
+  for (int i = 0; i < 33; ++i) {
+    const auto s = t.add_sink("s" + std::to_string(i));
+    t.connect({src, 0}, {s, 0});
+  }
+  EXPECT_THROW(lip::System sys(t), ApiError);
+}
+
+TEST(ApiEdges, ReferenceExecutorContracts) {
+  auto gen = graph::make_pipeline(1, 1);
+  lip::ReferenceExecutor ref(gen.topo);
+  EXPECT_THROW(ref.run(1), ApiError);  // pearl unbound
+  EXPECT_THROW(ref.bind_pearl(gen.sources[0], pearls::make_identity()),
+               ApiError);
+  EXPECT_THROW(ref.bind_pearl(gen.processes[0], pearls::make_adder()),
+               ApiError);  // arity
+  ref.bind_pearl(gen.processes[0], pearls::make_add_const(10));
+  ref.bind_source_values(gen.sources[0],
+                         [](std::uint64_t k) { return 2 * k; });
+  ref.run(5);
+  const auto& stream = ref.sink_stream(gen.sinks[0]);
+  ASSERT_EQ(stream.size(), 5u);
+  EXPECT_EQ(stream[0], 0u);   // init register
+  EXPECT_EQ(stream[1], 10u);  // f(2*0)
+  EXPECT_EQ(stream[2], 12u);  // f(2*1)
+  EXPECT_THROW(ref.sink_stream(gen.processes[0]), ApiError);
+}
+
+TEST(ApiEdges, SteadyStateRequiresPositiveEnvPeriod) {
+  auto gen = graph::make_pipeline(1, 1);
+  auto d = testutil::make_design(std::move(gen));
+  auto sys = d.instantiate();
+  EXPECT_THROW(lip::measure_steady_state(*sys, 100, 0), ApiError);
+}
+
+TEST(ApiEdges, SteadyStateBudgetExhaustionReportsNotFound) {
+  auto gen = graph::make_pipeline(4, 2);
+  auto d = testutil::make_design(std::move(gen));
+  auto sys = d.instantiate();
+  const auto ss = lip::measure_steady_state(*sys, /*max_cycles=*/2);
+  EXPECT_FALSE(ss.found);
+}
+
+TEST(ApiEdges, EnvironmentBehaviorsValidated) {
+  auto gen = graph::make_pipeline(1, 1);
+  lip::System sys(gen.topo);
+  lip::SourceBehavior empty_source;
+  EXPECT_THROW(sys.bind_source(gen.sources[0], empty_source), ApiError);
+  lip::SinkBehavior empty_sink;
+  EXPECT_THROW(sys.bind_sink(gen.sinks[0], empty_sink), ApiError);
+}
+
+TEST(ApiEdges, InstantiationsAreIsolated) {
+  // A Design's pearls are prototypes: every instantiate() gets fresh
+  // clones, so two systems never share mutable state.
+  auto gen = graph::make_pipeline(1, 1);
+  lip::Design d(gen.topo);
+  d.set_pearl(gen.processes[0], pearls::make_accumulator());
+  auto s1 = d.instantiate();
+  s1->run(100);
+  auto s2 = d.instantiate();
+  s2->run(100);
+  ASSERT_EQ(s1->sink_stream(gen.sinks[0]).size(),
+            s2->sink_stream(gen.sinks[0]).size());
+  for (std::size_t i = 0; i < s1->sink_stream(gen.sinks[0]).size(); ++i) {
+    EXPECT_EQ(s1->sink_stream(gen.sinks[0])[i],
+              s2->sink_stream(gen.sinks[0])[i]);
+  }
+}
+
+TEST(ApiEdges, SaturateBeforeFinalizeIsFine) {
+  auto gen = graph::make_closed_ring({2, 2});
+  auto d = testutil::make_design(std::move(gen));
+  auto sys = d.instantiate();
+  EXPECT_NO_THROW(sys->saturate_stations(7));
+  EXPECT_NO_THROW(sys->run(10));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Validation of the exact implicit-loop throughput model (the library's
+// generalization of the paper's (m−i)/m): on reconvergent feed-forward
+// designs it must equal exact simulation under the variant protocol, for
+// uniform AND irregular station distributions, where the paper's closed
+// form is only exact in the uniform case.
+
+#include <gtest/gtest.h>
+
+#include "liplib/graph/analysis.hpp"
+#include "liplib/graph/generators.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace liplib;
+using graph::RsKind;
+
+Rational measured_throughput(const graph::Topology& topo) {
+  graph::Generated g;
+  g.topo = topo;
+  for (graph::NodeId v = 0; v < topo.nodes().size(); ++v) {
+    if (topo.node(v).kind == graph::NodeKind::kProcess) {
+      g.processes.push_back(v);
+    }
+  }
+  auto d = testutil::make_design(std::move(g));
+  auto sys = d.instantiate({lip::StopPolicy::kCasuDiscardOnVoid});
+  const auto ss = lip::measure_steady_state(*sys, 1u << 18);
+  EXPECT_TRUE(ss.found);
+  return ss.system_throughput();
+}
+
+TEST(ExactModel, AgreesWithPaperFormulaOnUniformSweep) {
+  for (std::size_t short_st = 1; short_st <= 3; ++short_st) {
+    for (std::size_t long_shells = 1; long_shells <= 3; ++long_shells) {
+      for (std::size_t per_hop = 1; per_hop <= 2; ++per_hop) {
+        auto gen = graph::make_reconvergent(short_st, long_shells, per_hop);
+        const auto paper = graph::predict_throughput(gen.topo).system();
+        const auto exact = graph::exact_implicit_loop_bound(gen.topo);
+        EXPECT_EQ(exact, paper)
+            << "short=" << short_st << " shells=" << long_shells
+            << " per_hop=" << per_hop;
+      }
+    }
+  }
+}
+
+TEST(ExactModel, Fig1) {
+  auto gen = graph::make_fig1();
+  EXPECT_EQ(graph::exact_implicit_loop_bound(gen.topo), Rational(4, 5));
+  const auto loops = graph::analyze_implicit_loops(gen.topo);
+  // Two orientations of the single fork/join pair.
+  ASSERT_EQ(loops.size(), 2u);
+}
+
+TEST(ExactModel, IrregularDistributionWheredPaperFormulaDeviates) {
+  // The video-pipeline shape: long branch stations 1,2,1,3 (three
+  // intermediate shells), short branch one half station.  The paper's
+  // formula predicts 1/2; the true throughput is 5/11.
+  graph::Topology t;
+  const auto src = t.add_source("src");
+  const auto fork = t.add_process("fork", 1, 2);
+  const auto s1 = t.add_process("s1", 1, 1);
+  const auto s2 = t.add_process("s2", 1, 1);
+  const auto s3 = t.add_process("s3", 1, 1);
+  const auto join = t.add_process("join", 2, 1);
+  const auto snk = t.add_sink("out");
+  t.connect({src, 0}, {fork, 0});
+  t.connect({fork, 0}, {s1, 0}, {RsKind::kFull});
+  t.connect({s1, 0}, {s2, 0}, {RsKind::kFull, RsKind::kFull});
+  t.connect({s2, 0}, {s3, 0}, {RsKind::kFull});
+  t.connect({s3, 0}, {join, 0},
+            {RsKind::kFull, RsKind::kFull, RsKind::kFull});
+  t.connect({fork, 1}, {join, 1}, {RsKind::kHalf});
+  t.connect({join, 0}, {snk, 0});
+
+  const auto exact = graph::exact_implicit_loop_bound(t);
+  EXPECT_EQ(exact, Rational(5, 11));
+  EXPECT_EQ(measured_throughput(t), Rational(5, 11));
+  // The paper's estimate is close but not exact here.
+  const auto paper = graph::predict_throughput(t).reconvergence_bound;
+  EXPECT_NE(paper, exact);
+}
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+class ExactModelRandom : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(ExactModelRandom, MatchesSimulationOnRandomReconvergence) {
+  Rng rng(GetParam().seed);
+  graph::Topology t;
+  const auto src = t.add_source("src");
+  const auto fork = t.add_process("fork", 1, 2);
+  const auto join = t.add_process("join", 2, 1);
+  const auto snk = t.add_sink("out");
+  t.connect({src, 0}, {fork, 0});
+
+  auto random_chain = [&] {
+    std::vector<RsKind> st;
+    const std::size_t len = rng.in_range(1, 3);
+    for (std::size_t i = 0; i < len; ++i) {
+      st.push_back(rng.chance(1, 3) ? RsKind::kHalf : RsKind::kFull);
+    }
+    return st;
+  };
+  // Two branches with 0..3 intermediate shells each and random chains.
+  for (std::size_t branch = 0; branch < 2; ++branch) {
+    graph::NodeId prev = fork;
+    std::size_t prev_port = branch;
+    const std::size_t shells = rng.below(4);
+    for (std::size_t i = 0; i < shells; ++i) {
+      const auto w = t.add_process(
+          "b" + std::to_string(branch) + "_" + std::to_string(i), 1, 1);
+      t.connect({prev, prev_port}, {w, 0}, random_chain());
+      prev = w;
+      prev_port = 0;
+    }
+    t.connect({prev, prev_port}, {join, branch}, random_chain());
+  }
+  t.connect({join, 0}, {snk, 0});
+
+  const auto exact = graph::exact_implicit_loop_bound(t);
+  const auto measured = measured_throughput(t);
+  EXPECT_EQ(measured, exact) << "seed " << GetParam().seed;
+}
+
+std::vector<RandomCase> random_cases() {
+  std::vector<RandomCase> cases;
+  for (std::uint64_t s = 1; s <= 40; ++s) cases.push_back({s});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactModelRandom,
+                         ::testing::ValuesIn(random_cases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace

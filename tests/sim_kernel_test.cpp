@@ -1,0 +1,161 @@
+// Unit tests for the event-driven simulation kernel: delta-cycle
+// semantics, sensitivity, scheduled assignments, clocks and edge
+// detection.
+
+#include <gtest/gtest.h>
+
+#include "liplib/sim/kernel.hpp"
+
+namespace {
+
+using namespace liplib;
+using sim::SimContext;
+
+TEST(SimKernel, WriteTakesEffectNextDelta) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 0);
+  auto& b = ctx.signal<int>("b", 0);
+  // b follows a combinationally.
+  auto& p = ctx.process("follow", [&] { b.write(a.read() + 1); });
+  ctx.sensitize(p, a);
+  a.write_after(41, 5);
+  ctx.run_until(10);
+  EXPECT_EQ(a.read(), 41);
+  EXPECT_EQ(b.read(), 42);
+}
+
+TEST(SimKernel, ElaborationRunsEveryProcessOnce) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 7);
+  int runs = 0;
+  auto& p = ctx.process("init", [&] { ++runs; });
+  ctx.sensitize(p, a);
+  ctx.run_until(0);
+  EXPECT_EQ(runs, 1);  // elaboration pass, no events
+}
+
+TEST(SimKernel, LastWriteWinsWithinDelta) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 0);
+  auto& trigger = ctx.signal<bool>("t", false);
+  auto& p = ctx.process("writer", [&] {
+    if (trigger.event()) {
+      a.write(1);
+      a.write(2);
+    }
+  });
+  ctx.sensitize(p, trigger);
+  trigger.write_after(true, 1);
+  ctx.run_until(2);
+  EXPECT_EQ(a.read(), 2);
+}
+
+TEST(SimKernel, EqualValueWriteDoesNotWakeProcesses) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 5);
+  int wakeups = 0;
+  auto& p = ctx.process("watch", [&] {
+    if (a.event()) ++wakeups;
+  });
+  ctx.sensitize(p, a);
+  a.write_after(5, 1);  // same value: no event
+  a.write_after(6, 2);  // change: one event
+  ctx.run_until(5);
+  EXPECT_EQ(wakeups, 1);
+}
+
+TEST(SimKernel, CombinationalChainSettlesInDeltas) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 0);
+  auto& b = ctx.signal<int>("b", 0);
+  auto& c = ctx.signal<int>("c", 0);
+  auto& p1 = ctx.process("p1", [&] { b.write(a.read() * 2); });
+  auto& p2 = ctx.process("p2", [&] { c.write(b.read() + 1); });
+  ctx.sensitize(p1, a);
+  ctx.sensitize(p2, b);
+  a.write_after(10, 3);
+  ctx.run_until(3);
+  EXPECT_EQ(c.read(), 21);  // settled through two deltas at time 3
+}
+
+TEST(SimKernel, OscillationHitsDeltaLimit) {
+  SimContext ctx;
+  ctx.set_delta_limit(100);
+  auto& a = ctx.signal<bool>("a", false);
+  auto& p = ctx.process("inverter", [&] { a.write(!a.read()); });
+  ctx.sensitize(p, a);
+  a.write_after(true, 1);
+  EXPECT_THROW(ctx.run_until(1), InternalError);
+}
+
+TEST(SimKernel, ClockGeneratesEdges) {
+  SimContext ctx;
+  sim::Clock clk(ctx, "clk", 1, 1);
+  int posedges = 0, negedges = 0;
+  auto& p = ctx.process("count", [&] {
+    if (clk.signal().posedge()) ++posedges;
+    if (clk.signal().negedge()) ++negedges;
+  });
+  ctx.sensitize(p, clk.signal());
+  ctx.run_until(20);  // edges at 1,2,3,...,20
+  EXPECT_EQ(posedges, 10);  // rising at odd times 1..19
+  EXPECT_EQ(negedges, 10);  // falling at even times 2..20
+}
+
+TEST(SimKernel, RegisterSamplesPreEdgeValue) {
+  // Two back-to-back registers: classic shift; both clocked processes
+  // must read pre-edge values, so data moves one stage per cycle.
+  SimContext ctx;
+  sim::Clock clk(ctx, "clk", 1, 1);
+  auto& d = ctx.signal<int>("d", 100);
+  auto& q1 = ctx.signal<int>("q1", 0);
+  auto& q2 = ctx.signal<int>("q2", 0);
+  auto& r1 = ctx.process("r1", [&] {
+    if (clk.signal().posedge()) q1.write(d.read());
+  });
+  auto& r2 = ctx.process("r2", [&] {
+    if (clk.signal().posedge()) q2.write(q1.read());
+  });
+  ctx.sensitize(r1, clk.signal());
+  ctx.sensitize(r2, clk.signal());
+  ctx.run_until(2);  // one rising edge at t=1
+  EXPECT_EQ(q1.read(), 100);
+  EXPECT_EQ(q2.read(), 0);  // pre-edge q1 was 0
+  ctx.run_until(4);  // second edge at t=3
+  EXPECT_EQ(q2.read(), 100);
+}
+
+TEST(SimKernel, OnChangeHookFires) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 0);
+  int calls = 0;
+  ctx.on_change(a, [&] { ++calls; });
+  a.write_after(1, 1);
+  a.write_after(1, 2);  // no change
+  a.write_after(2, 3);
+  ctx.run_until(5);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SimKernel, RunStepsAdvancesDiscreteEventTimes) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 0);
+  a.write_after(1, 3);
+  a.write_after(2, 9);
+  const auto t = ctx.run_steps(1);
+  EXPECT_EQ(t, 3u);
+  EXPECT_EQ(a.read(), 1);
+  ctx.run_steps(1);
+  EXPECT_EQ(a.read(), 2);
+  EXPECT_FALSE(ctx.has_future_events());
+}
+
+TEST(SimKernel, CannotScheduleInThePast) {
+  SimContext ctx;
+  auto& a = ctx.signal<int>("a", 0);
+  a.write_after(1, 5);
+  ctx.run_until(5);
+  EXPECT_NO_THROW(a.write_after(2, 0));  // now is fine
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Unit tests for the support utilities: rationals, RNG, tables, VCD.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liplib/support/check.hpp"
+#include "liplib/support/rational.hpp"
+#include "liplib/support/rng.hpp"
+#include "liplib/support/table.hpp"
+#include "liplib/support/vcd.hpp"
+
+namespace {
+
+using namespace liplib;
+
+TEST(Rational, NormalizesToLowestTerms) {
+  EXPECT_EQ(Rational(4, 8), Rational(1, 2));
+  EXPECT_EQ(Rational(-4, 8), Rational(-1, 2));
+  EXPECT_EQ(Rational(4, -8), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(0, 7).den(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1, 2) / Rational(0), ApiError);
+  EXPECT_THROW(Rational(1, 0), ApiError);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(4, 5), Rational(1));
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, Rendering) {
+  EXPECT_EQ(Rational(4, 5).str(), "4/5");
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_NEAR(Rational(1, 3).to_double(), 0.3333, 1e-3);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(5);
+  bool seen[7] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.in_range(3, 6);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    lo |= v == 3;
+    hi |= v == 6;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ChanceRoughlyFair) {
+  Rng rng(77);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(1, 4);
+  EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1/2"});
+  t.add_row({"with,comma", "quote\"inside"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1/2\n"
+            "\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(Vcd, WritesWellFormedDump) {
+  std::ostringstream os;
+  VcdWriter vcd(os, "top");
+  const auto v = vcd.add_signal("valid", 1);
+  const auto d = vcd.add_signal("data", 8);
+  vcd.begin_dump();
+  vcd.set_time(0);
+  vcd.change(v, 1);
+  vcd.change(d, 0x2a);
+  vcd.set_time(5);
+  vcd.change(v, 0);
+  vcd.change(v, 0);  // dedup: no second emission
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(out.find("#0"), std::string::npos);
+  EXPECT_NE(out.find("#5"), std::string::npos);
+  EXPECT_NE(out.find("b101010"), std::string::npos);
+  // The deduplicated change appears once.
+  const auto first = out.find("0!");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("0!", first + 1), std::string::npos);
+}
+
+TEST(Vcd, RejectsMisuse) {
+  std::ostringstream os;
+  VcdWriter vcd(os, "top");
+  const auto v = vcd.add_signal("x", 1);
+  EXPECT_THROW(vcd.change(v, 1), ApiError);  // before begin_dump
+  vcd.begin_dump();
+  EXPECT_THROW(vcd.add_signal("late", 1), ApiError);
+  vcd.set_time(10);
+  EXPECT_THROW(vcd.set_time(5), ApiError);  // time must be monotone
+}
+
+TEST(Check, MacrosThrowTypedErrors) {
+  EXPECT_THROW(LIPLIB_EXPECT(false, "nope"), ApiError);
+  EXPECT_THROW(LIPLIB_ENSURE(false, "bug"), InternalError);
+  EXPECT_NO_THROW(LIPLIB_EXPECT(true, ""));
+  try {
+    LIPLIB_EXPECT(1 == 2, "context message");
+    FAIL();
+  } catch (const ApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Parameterized validation of the paper's analytic throughput results
+// against exact simulation:
+//   feedback loops:            T = S/(S+R)      (paper / Carloni DAC'00)
+//   reconvergent feedforward:  T = (m-i)/m      (the paper's formula)
+//   trees / pipelines:         T = 1
+//   loop chains:               T = min over loops (slowest subtopology)
+
+#include <gtest/gtest.h>
+
+#include "liplib/graph/analysis.hpp"
+#include "liplib/graph/equalize.hpp"
+#include "liplib/graph/generators.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace liplib;
+
+// ---------------------------------------------------------------------
+// Feedback loops: sweep (S, R).
+// ---------------------------------------------------------------------
+
+struct LoopCase {
+  std::size_t shells;
+  std::size_t stations_per_channel;
+};
+
+class LoopThroughput : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(LoopThroughput, MatchesFormula) {
+  const auto [s, per] = GetParam();
+  std::vector<std::size_t> stations(s, per);
+  auto d = testutil::make_design(graph::make_closed_ring(stations));
+  auto sys = d.instantiate();
+  const auto ss = lip::measure_steady_state(*sys);
+  ASSERT_TRUE(ss.found);
+  const auto expected = graph::loop_throughput(s, s * per);
+  EXPECT_EQ(ss.system_throughput(), expected)
+      << "S=" << s << " R=" << s * per;
+  // Every shell in a ring runs at the same rate.
+  for (const auto& t : ss.shell_throughput) EXPECT_EQ(t, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoopThroughput,
+    ::testing::Values(LoopCase{1, 1}, LoopCase{1, 2}, LoopCase{1, 5},
+                      LoopCase{2, 1}, LoopCase{2, 2}, LoopCase{3, 1},
+                      LoopCase{3, 3}, LoopCase{4, 1}, LoopCase{4, 2},
+                      LoopCase{6, 1}, LoopCase{8, 2}),
+    [](const auto& info) {
+      return "S" + std::to_string(info.param.shells) + "_P" +
+             std::to_string(info.param.stations_per_channel);
+    });
+
+TEST(LoopThroughputExtra, TappedRingMatchesFormulaAndFeedsSink) {
+  for (std::size_t ab = 1; ab <= 3; ++ab) {
+    for (std::size_t ba = 1; ba <= 3; ++ba) {
+      auto d = testutil::make_design(graph::make_ring_with_tap(ab, ba));
+      auto sys = d.instantiate();
+      const auto ss = lip::measure_steady_state(*sys);
+      ASSERT_TRUE(ss.found);
+      EXPECT_EQ(ss.system_throughput(), graph::loop_throughput(2, ab + ba))
+          << "ab=" << ab << " ba=" << ba;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Reconvergent feedforward: sweep branch imbalance.
+// ---------------------------------------------------------------------
+
+struct ReconvCase {
+  std::size_t short_stations;
+  std::size_t long_shells;
+  std::size_t long_per_hop;
+};
+
+class ReconvergentThroughput : public ::testing::TestWithParam<ReconvCase> {
+};
+
+TEST_P(ReconvergentThroughput, MatchesPaperFormula) {
+  const auto [s_st, l_sh, l_per] = GetParam();
+  auto gen = graph::make_reconvergent(s_st, l_sh, l_per);
+  const auto pred = graph::predict_throughput(gen.topo);
+  auto d = testutil::make_design(std::move(gen));
+  auto sys = d.instantiate();  // paper variant policy (default)
+  const auto ss = lip::measure_steady_state(*sys);
+  ASSERT_TRUE(ss.found);
+  EXPECT_EQ(ss.system_throughput(), pred.system())
+      << "short=" << s_st << " long_shells=" << l_sh
+      << " long_per_hop=" << l_per
+      << " predicted=" << pred.system().str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReconvergentThroughput,
+    ::testing::Values(ReconvCase{1, 1, 1},   // the paper's Fig. 1: T = 4/5
+                      ReconvCase{2, 1, 1},   // balanced: i = 0, T = 1
+                      ReconvCase{1, 1, 2},   // i = 3
+                      ReconvCase{1, 2, 1},   // longer chain
+                      ReconvCase{2, 2, 1}, ReconvCase{1, 2, 2},
+                      ReconvCase{3, 1, 1}, ReconvCase{1, 3, 1},
+                      ReconvCase{2, 3, 1}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.short_stations) + "_w" +
+             std::to_string(info.param.long_shells) + "_p" +
+             std::to_string(info.param.long_per_hop);
+    });
+
+// ---------------------------------------------------------------------
+// Trees and pipelines: T = 1 regardless of depth or pipelining.
+// ---------------------------------------------------------------------
+
+TEST(TreeThroughput, PipelinesRunAtFullRate) {
+  for (std::size_t stages : {1u, 3u, 6u}) {
+    for (std::size_t per : {1u, 2u, 4u}) {
+      auto d = testutil::make_design(graph::make_pipeline(stages, per));
+      auto sys = d.instantiate();
+      const auto ss = lip::measure_steady_state(*sys);
+      ASSERT_TRUE(ss.found);
+      EXPECT_EQ(ss.system_throughput(), Rational(1))
+          << stages << " stages, " << per << " stations/channel";
+    }
+  }
+}
+
+TEST(TreeThroughput, BalancedTreesRunAtFullRate) {
+  for (std::size_t depth : {1u, 2u, 3u}) {
+    auto d = testutil::make_design(graph::make_tree(depth, 2));
+    auto sys = d.instantiate();
+    const auto ss = lip::measure_steady_state(*sys);
+    ASSERT_TRUE(ss.found);
+    EXPECT_EQ(ss.system_throughput(), Rational(1)) << "depth " << depth;
+  }
+}
+
+TEST(TreeThroughput, TransientBoundedByLongestPath) {
+  // "The initial latency for each node before firing at full speed can be
+  // as much as the longest path in the tree (transient duration)."
+  for (std::size_t depth : {1u, 2u, 3u}) {
+    auto gen = graph::make_tree(depth, 2);
+    const auto longest = graph::longest_register_path(gen.topo);
+    ASSERT_TRUE(longest.has_value());
+    auto d = testutil::make_design(std::move(gen));
+    auto sys = d.instantiate();
+    const auto ss = lip::measure_steady_state(*sys);
+    ASSERT_TRUE(ss.found);
+    EXPECT_LE(ss.transient, *longest + 1) << "depth " << depth;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Composites: the slowest subtopology dictates the system speed.
+// ---------------------------------------------------------------------
+
+TEST(CompositeThroughput, SlowestLoopDominates) {
+  const std::vector<std::vector<graph::RingSpec>> cases = {
+      {{1, 2}, {1, 3}},              // loops at 2/4 and 2/5... see below
+      {{2, 3}, {1, 2}},
+      {{1, 2}, {2, 4}, {1, 4}},
+  };
+  for (const auto& specs : cases) {
+    auto gen = graph::make_loop_chain(specs);
+    Rational expected(1);
+    for (const auto& spec : specs) {
+      // Each loop has (extra_shells + 1) shells including its port and
+      // spec.loop_stations stations.
+      const auto t =
+          graph::loop_throughput(spec.extra_shells + 1, spec.loop_stations);
+      if (t < expected) expected = t;
+    }
+    const auto pred = graph::predict_throughput(gen.topo);
+    EXPECT_EQ(pred.cycle_bound, expected);
+    auto d = testutil::make_design(std::move(gen));
+    auto sys = d.instantiate();
+    const auto ss = lip::measure_steady_state(*sys, 500000);
+    ASSERT_TRUE(ss.found);
+    EXPECT_EQ(ss.system_throughput(), expected);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Path equalization restores T = 1 on unbalanced feedforward designs.
+// ---------------------------------------------------------------------
+
+TEST(Equalization, RestoresFullThroughput) {
+  for (const auto& [s_st, l_sh, l_per] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{1, 1, 2},
+        {1, 2, 2},
+        {1, 3, 1}}) {
+    auto gen = graph::make_reconvergent(s_st, l_sh, l_per);
+
+    auto before = testutil::make_design(gen);
+    auto sys_before = before.instantiate();
+    const auto ss_before = lip::measure_steady_state(*sys_before);
+    ASSERT_TRUE(ss_before.found);
+    EXPECT_LT(ss_before.system_throughput(), Rational(1));
+
+    const std::size_t added = graph::equalize_paths(gen.topo);
+    EXPECT_GT(added, 0u);
+    auto after = testutil::make_design(std::move(gen));
+    auto sys_after = after.instantiate();
+    const auto ss_after = lip::measure_steady_state(*sys_after);
+    ASSERT_TRUE(ss_after.found);
+    EXPECT_EQ(ss_after.system_throughput(), Rational(1));
+  }
+}
+
+TEST(Equalization, BalancedDesignUntouched) {
+  auto gen = graph::make_tree(3, 2);
+  const auto plan = graph::plan_equalization(gen.topo);
+  EXPECT_TRUE(plan.balanced_already());
+}
+
+TEST(Equalization, RejectsCyclicTopology) {
+  auto gen = graph::make_fig2();
+  EXPECT_THROW(graph::plan_equalization(gen.topo), ApiError);
+}
+
+// ---------------------------------------------------------------------
+// Transient bound holds across families.
+// ---------------------------------------------------------------------
+
+TEST(TransientBound, CoversAllFamilies) {
+  std::vector<graph::Generated> cases;
+  cases.push_back(graph::make_pipeline(4, 2));
+  cases.push_back(graph::make_tree(2, 1));
+  cases.push_back(graph::make_reconvergent(1, 2, 2));
+  cases.push_back(graph::make_fig1());
+  cases.push_back(graph::make_fig2());
+  cases.push_back(graph::make_loop_chain({{1, 2}, {2, 3}}));
+  for (auto& gen : cases) {
+    const auto bound = graph::transient_bound(gen.topo);
+    auto d = testutil::make_design(std::move(gen));
+    auto sys = d.instantiate();
+    const auto ss = lip::measure_steady_state(*sys, 500000);
+    ASSERT_TRUE(ss.found);
+    EXPECT_LE(ss.transient, bound);
+  }
+}
+
+}  // namespace

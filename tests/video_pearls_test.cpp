@@ -1,0 +1,97 @@
+// Unit tests for the block-based "video" pearls.
+
+#include <gtest/gtest.h>
+
+#include "liplib/pearls/video.hpp"
+#include "liplib/support/check.hpp"
+
+namespace {
+
+using namespace liplib;
+
+std::uint64_t run1(lip::Pearl& p, std::uint64_t in) {
+  std::uint64_t out = 0;
+  p.step(std::span<const std::uint64_t>(&in, 1),
+         std::span<std::uint64_t>(&out, 1));
+  return out;
+}
+
+TEST(VideoPearls, Transform8IsStreamingAndBlockAccurate) {
+  auto p = pearls::make_block_transform8();
+  // First 8 outputs are the zero-initialized coefficient buffer.
+  std::vector<std::uint64_t> first;
+  for (std::uint64_t i = 1; i <= 8; ++i) first.push_back(run1(*p, i));
+  for (auto v : first) EXPECT_EQ(v, 0u);
+  // The next 8 outputs are the transform of block (1..8).  The DC
+  // coefficient of a Walsh-Hadamard transform is the block sum = 36.
+  std::vector<std::uint64_t> coeffs;
+  for (std::uint64_t i = 0; i < 8; ++i) coeffs.push_back(run1(*p, 100));
+  EXPECT_EQ(coeffs[0], 36u);
+  // The transform is linear: doubling the input doubles each coefficient.
+  auto q = pearls::make_block_transform8();
+  for (std::uint64_t i = 1; i <= 8; ++i) run1(*q, 2 * i);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(run1(*q, 0), 2 * coeffs[i]) << i;
+  }
+}
+
+TEST(VideoPearls, Transform8SustainsFullRate) {
+  // Double buffering: feeding two different blocks back-to-back gives
+  // both transforms with no gaps.
+  auto p = pearls::make_block_transform8();
+  for (std::uint64_t i = 0; i < 8; ++i) run1(*p, 1);  // block A: all ones
+  std::uint64_t dc_a = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto c = run1(*p, 5);  // block B streams in while A streams out
+    if (i == 0) dc_a = c;
+  }
+  EXPECT_EQ(dc_a, 8u);  // sum of ones
+  EXPECT_EQ(run1(*p, 0), 40u);  // DC of block B arrives immediately after
+}
+
+TEST(VideoPearls, CloneResetRestartsTheBlock) {
+  auto p = pearls::make_block_transform8();
+  run1(*p, 7);
+  run1(*p, 7);
+  auto q = p->clone_reset();
+  for (std::uint64_t i = 1; i <= 8; ++i) EXPECT_EQ(run1(*q, i), 0u);
+  EXPECT_EQ(run1(*q, 0), 36u);
+}
+
+TEST(VideoPearls, Quantizer) {
+  auto p = pearls::make_quantizer(4);
+  EXPECT_EQ(run1(*p, 15), 3u);
+  EXPECT_EQ(run1(*p, 16), 4u);
+  EXPECT_EQ(run1(*p, 3), 0u);
+  EXPECT_THROW(pearls::make_quantizer(0), ApiError);
+}
+
+TEST(VideoPearls, RleMarksRunsAndData) {
+  auto p = pearls::make_rle_marker();
+  const auto d1 = run1(*p, 42);
+  EXPECT_EQ(d1 & 0x00ffffffffffffffull, 42u);
+  EXPECT_NE(d1 >> 56, 0u);  // data tag
+  const auto r1 = run1(*p, 0);
+  const auto r2 = run1(*p, 0);
+  EXPECT_EQ(r1 & 0xff, 1u);  // run length 1
+  EXPECT_EQ(r2 & 0xff, 2u);  // run length 2
+  EXPECT_EQ(r1 >> 56, 0x5au);
+  const auto d2 = run1(*p, 9);
+  EXPECT_EQ(d2 & 0xff, 9u);
+  const auto r3 = run1(*p, 0);
+  EXPECT_EQ(r3 & 0xff, 1u);  // run counter restarted
+}
+
+TEST(VideoPearls, Blender) {
+  auto p = pearls::make_blender(256);  // all-a
+  const std::uint64_t in[2] = {100, 50};
+  std::uint64_t out = 0;
+  p->step(in, std::span<std::uint64_t>(&out, 1));
+  EXPECT_EQ(out, 100u);
+  auto q = pearls::make_blender(128);  // half-half
+  q->step(in, std::span<std::uint64_t>(&out, 1));
+  EXPECT_EQ(out, 75u);
+  EXPECT_THROW(pearls::make_blender(300), ApiError);
+}
+
+}  // namespace
