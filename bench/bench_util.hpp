@@ -2,13 +2,16 @@
 
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "liplib/graph/generators.hpp"
 #include "liplib/lip/design.hpp"
 #include "liplib/pearls/pearls.hpp"
+#include "liplib/support/json.hpp"
 
 namespace liplib::benchutil {
 
@@ -35,6 +38,23 @@ inline lip::Design make_design(graph::Generated g) {
 /// Section header in the harness output.
 inline void heading(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Writes a machine-readable benchmark result file `BENCH_<name>.json`
+/// in the current directory: a schema tag, the bench name, and an array
+/// of measurement records (each an object built by the caller).  This is
+/// the repo's perf-trajectory format: byte-stable field order via
+/// support/json.hpp, one file per bench binary.
+inline void write_bench_json(const std::string& name, Json records) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  os << Json::object()
+            .set("schema", "liplib.bench/1")
+            .set("bench", name)
+            .set("records", std::move(records))
+            .dump(2)
+     << "\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace liplib::benchutil

@@ -10,13 +10,21 @@
 //   lidtool flow      <file.lid>    full flow: screen, cure, sign off
 //   lidtool run       <file.lid> [n] full-data simulation (annotated file)
 //   lidtool dot       <file.lid>    graphviz rendering
+//   lidtool campaign  ...           parallel mass-simulation campaigns
+//                                   (sweep / fuzz / t1; see --help)
 //
 // Run without arguments for a demo on the paper's Fig. 1 design.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "liplib/campaign/campaign.hpp"
+#include "liplib/campaign/jobs.hpp"
+#include "liplib/campaign/report.hpp"
 #include "liplib/graph/analysis.hpp"
 #include "liplib/graph/equalize.hpp"
 #include "liplib/graph/mcr.hpp"
@@ -30,6 +38,45 @@
 using namespace liplib;
 
 namespace {
+
+const char* kUsage =
+    R"(usage: lidtool <command> [arguments]
+
+structural commands (take a .lid netlist file):
+  validate  <file.lid>          structural checks + warnings
+  analyze   <file.lid>          analytic throughput (formulas + MCR)
+  simulate  <file.lid>          skeleton simulation to steady state
+  screen    <file.lid>          deadlock screening (reset + worst case)
+  cure      <file.lid>          substitute stations until deadlock free
+  equalize  <file.lid>          insert spare stations, print new netlist
+  flow      <file.lid>          full flow: screen, cure, sign off
+  dot       <file.lid>          graphviz rendering
+
+behavioural commands (annotated netlists):
+  run       <file.lid> [cycles] full-data simulation + equivalence check
+
+campaign commands (parallel mass simulation; see docs/campaign.md):
+  campaign sweep <file.lid>     steady-state sweep over station counts
+                                and stop policies
+  campaign fuzz <N>             screen N random topologies
+  campaign t1                   the EXPERIMENTS.md T1 fuzz pass
+                                (750 randomized runs) on the engine
+  campaign options:
+    --threads N   worker threads (default: hardware)
+    --seed S      campaign base seed (default 1)
+    --budget B    per-job cycle budget (default 2^18)
+    --stations LO:HI   sweep station-count range (default 1:4)
+    --policy variant|strict|both   stop policy (default both for sweep,
+                                   variant for fuzz)
+    --shape composite|reconvergent|feedforward   fuzz topology shape
+    --json PATH   write the aggregated report as JSON
+    --csv PATH    write per-job results as CSV
+
+other:
+  --help, -h, help              this text
+
+Run without arguments for a demo on the paper's Fig. 1 design.
+)";
 
 const char* kFig1Netlist = R"(# the paper's Fig. 1 design
 source src
@@ -191,14 +238,268 @@ int cmd_equalize(graph::Topology topo) {
   return 0;
 }
 
+// ---- campaign subcommand --------------------------------------------------
+
+struct CampaignArgs {
+  campaign::EngineOptions engine;
+  std::size_t station_lo = 1, station_hi = 4;
+  std::vector<lip::StopPolicy> policies;  // empty = command default
+  campaign::FuzzSpec::Shape shape = campaign::FuzzSpec::Shape::kComposite;
+  std::string json_path;
+  std::string csv_path;
+  std::vector<std::string> positional;
+};
+
+const char* policy_label(lip::StopPolicy p) {
+  return p == lip::StopPolicy::kCarloniStrict ? "strict" : "variant";
+}
+
+/// stoull with a readable diagnostic ("--seed expects a number, got
+/// 'xyz'") instead of the bare std::invalid_argument from the library.
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(text, &used);
+    if (used != text.size()) {
+      throw ApiError(what + " expects a number, got '" + text + "'");
+    }
+    return v;
+  } catch (const ApiError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ApiError(what + " expects a number, got '" + text + "'");
+  }
+}
+
+/// Parses the flags shared by the campaign subcommands; throws ApiError
+/// on malformed values so main() reports them uniformly.
+CampaignArgs parse_campaign_args(int argc, char** argv, int first) {
+  CampaignArgs args;
+  args.engine.cycle_budget = 1u << 18;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      LIPLIB_EXPECT(i + 1 < argc,
+                    std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--threads") {
+      args.engine.threads =
+          static_cast<unsigned>(parse_u64(value("--threads"), "--threads"));
+    } else if (a == "--seed") {
+      args.engine.base_seed = parse_u64(value("--seed"), "--seed");
+    } else if (a == "--budget") {
+      args.engine.cycle_budget = parse_u64(value("--budget"), "--budget");
+    } else if (a == "--stations") {
+      const std::string v = value("--stations");
+      const auto colon = v.find(':');
+      LIPLIB_EXPECT(colon != std::string::npos,
+                    "--stations expects LO:HI");
+      args.station_lo =
+          static_cast<std::size_t>(parse_u64(v.substr(0, colon), "--stations"));
+      args.station_hi = static_cast<std::size_t>(
+          parse_u64(v.substr(colon + 1), "--stations"));
+      LIPLIB_EXPECT(args.station_lo >= 1 &&
+                        args.station_lo <= args.station_hi,
+                    "--stations range must satisfy 1 <= LO <= HI");
+    } else if (a == "--policy") {
+      const std::string v = value("--policy");
+      if (v == "variant") {
+        args.policies = {lip::StopPolicy::kCasuDiscardOnVoid};
+      } else if (v == "strict") {
+        args.policies = {lip::StopPolicy::kCarloniStrict};
+      } else if (v == "both") {
+        args.policies = {lip::StopPolicy::kCasuDiscardOnVoid,
+                         lip::StopPolicy::kCarloniStrict};
+      } else {
+        throw ApiError("unknown policy '" + v + "'");
+      }
+    } else if (a == "--shape") {
+      const std::string v = value("--shape");
+      if (v == "composite") {
+        args.shape = campaign::FuzzSpec::Shape::kComposite;
+      } else if (v == "reconvergent") {
+        args.shape = campaign::FuzzSpec::Shape::kReconvergent;
+      } else if (v == "feedforward") {
+        args.shape = campaign::FuzzSpec::Shape::kFeedforward;
+      } else {
+        throw ApiError("unknown fuzz shape '" + v + "'");
+      }
+    } else if (a == "--json") {
+      args.json_path = value("--json");
+    } else if (a == "--csv") {
+      args.csv_path = value("--csv");
+    } else if (!a.empty() && a[0] == '-') {
+      throw ApiError("unknown campaign option '" + a + "'");
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+/// Runs a job batch, prints the aggregate and failures, writes exports.
+/// Returns 0 when every job is live.
+int run_campaign_and_report(const std::vector<campaign::Job>& jobs,
+                            const CampaignArgs& args) {
+  campaign::RunStats stats;
+  const auto results = campaign::Engine(args.engine).run(jobs, &stats);
+  const auto agg = campaign::aggregate(results);
+
+  std::cout << jobs.size() << " jobs on " << stats.threads
+            << " worker thread(s), " << stats.steals << " steals, "
+            << agg.total_cycles << " simulated cycles, "
+            << stats.wall_seconds << " s wall\n\n";
+
+  Table hist({"outcome", "jobs"});
+  for (const auto& [o, n] : agg.outcomes) {
+    if (n) hist.add_row({campaign::outcome_name(o), std::to_string(n)});
+  }
+  hist.print(std::cout);
+
+  if (!agg.throughputs.empty()) {
+    std::cout << "\nthroughput distribution (exact):\n\n";
+    Table tp({"T", "jobs"});
+    for (const auto& [t, n] : agg.throughputs) {
+      tp.add_row({t.str(), std::to_string(n)});
+    }
+    tp.print(std::cout);
+  }
+
+  if (!agg.failures.empty()) {
+    std::cout << "\nfailures (seed reproduces the job):\n\n";
+    Table f({"job", "outcome", "seed", "detail"});
+    const std::size_t show =
+        std::min<std::size_t>(agg.failures.size(), 20);
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& r = agg.failures[i];
+      f.add_row({r.name, campaign::outcome_name(r.outcome),
+                 std::to_string(r.seed), r.detail});
+    }
+    f.print(std::cout);
+    if (agg.failures.size() > show) {
+      std::cout << "... and " << agg.failures.size() - show << " more\n";
+    }
+  }
+
+  if (!args.json_path.empty()) {
+    std::ofstream os(args.json_path);
+    os << campaign::to_json(agg).dump(2) << "\n";
+    std::cout << "\nwrote " << args.json_path << "\n";
+  }
+  if (!args.csv_path.empty()) {
+    std::ofstream os(args.csv_path);
+    os << campaign::to_csv(results);
+    std::cout << "wrote " << args.csv_path << "\n";
+  }
+  return agg.all_live() ? 0 : 1;
+}
+
+/// `campaign sweep <file.lid>`: replicate the design's process-to-process
+/// channels at every station count in the range, under each stop policy,
+/// and measure the exact steady state of each variant.
+int cmd_campaign_sweep(const graph::Topology& base, CampaignArgs args) {
+  if (args.policies.empty()) {
+    args.policies = {lip::StopPolicy::kCasuDiscardOnVoid,
+                     lip::StopPolicy::kCarloniStrict};
+  }
+  std::vector<campaign::Job> jobs;
+  for (std::size_t k = args.station_lo; k <= args.station_hi; ++k) {
+    graph::Topology variant = base;
+    for (graph::ChannelId c = 0; c < variant.channels().size(); ++c) {
+      auto& ch = variant.channel_mut(c);
+      const bool between_processes =
+          variant.node(ch.from.node).kind == graph::NodeKind::kProcess &&
+          variant.node(ch.to.node).kind == graph::NodeKind::kProcess;
+      if (between_processes) {
+        const graph::RsKind kind =
+            ch.stations.empty() ? graph::RsKind::kFull : ch.stations.front();
+        ch.stations.assign(k, kind);
+      }
+    }
+    for (auto policy : args.policies) {
+      skeleton::SkeletonOptions opts;
+      opts.policy = policy;
+      jobs.push_back(campaign::make_steady_state_job(
+          "sweep/st=" + std::to_string(k) + "/" + policy_label(policy),
+          variant, opts));
+    }
+  }
+  return run_campaign_and_report(jobs, args);
+}
+
+/// `campaign fuzz <N>`: screen N randomized topologies, cross-checking
+/// measured throughput against the analytic bounds.
+int cmd_campaign_fuzz(std::size_t n, CampaignArgs args) {
+  if (args.policies.empty()) {
+    args.policies = {lip::StopPolicy::kCasuDiscardOnVoid};
+  }
+  std::vector<campaign::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    campaign::FuzzSpec spec;
+    spec.shape = args.shape;
+    spec.policy = args.policies[i % args.policies.size()];
+    spec.size = 4;
+    jobs.push_back(campaign::make_fuzz_job(
+        "fuzz/" + std::to_string(i) + "/" + policy_label(spec.policy),
+        spec));
+  }
+  return run_campaign_and_report(jobs, args);
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "campaign requires a mode: sweep | fuzz | t1\n"
+              << kUsage;
+    return 2;
+  }
+  const std::string mode = argv[2];
+  auto args = parse_campaign_args(argc, argv, 3);
+  if (mode == "sweep") {
+    if (args.positional.size() != 1) {
+      std::cerr << "campaign sweep requires exactly one <file.lid>\n";
+      return 2;
+    }
+    std::ifstream in(args.positional[0]);
+    if (!in) {
+      std::cerr << "cannot open " << args.positional[0] << "\n";
+      return 2;
+    }
+    return cmd_campaign_sweep(graph::parse_netlist_annotated(in).topo,
+                              std::move(args));
+  }
+  if (mode == "fuzz") {
+    if (args.positional.size() != 1) {
+      std::cerr << "campaign fuzz requires a job count\n";
+      return 2;
+    }
+    // Evaluated before the move below (argument order is unspecified).
+    const std::size_t n =
+        static_cast<std::size_t>(parse_u64(args.positional[0], "fuzz count"));
+    return cmd_campaign_fuzz(n, std::move(args));
+  }
+  if (mode == "t1") {
+    std::cout << "EXPERIMENTS.md T1 fuzz pass: 300 random reconvergences "
+                 "x 2 policies + 150 random composites = 750 runs\n\n";
+    return run_campaign_and_report(campaign::make_t1_fuzz_campaign(), args);
+  }
+  std::cerr << "unknown campaign mode '" << mode << "'\n" << kUsage;
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    const std::string cmd = argc >= 2 ? argv[1] : "";
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (cmd == "campaign") return cmd_campaign(argc, argv);
+
     graph::Topology topo;
-    std::string cmd;
     if (argc >= 3) {
-      cmd = argv[1];
       std::ifstream in(argv[2]);
       if (!in) {
         std::cerr << "cannot open " << argv[2] << "\n";
@@ -211,11 +512,15 @@ int main(int argc, char** argv) {
       }
       // Structural commands accept annotated files too.
       topo = graph::parse_netlist_annotated(in).topo;
+    } else if (argc >= 2) {
+      // A command without its file argument (or a typo'd command).
+      std::cerr << "missing or unknown arguments for '" << cmd << "'\n\n"
+                << kUsage;
+      return 2;
     } else {
-      std::cout << "usage: lidtool <validate|analyze|simulate|screen|cure|"
-                   "equalize|flow|dot> <file.lid>\n"
-                   "       lidtool run <file.lid> [cycles]\n"
-                   "running the full demo on the built-in Fig. 1 design:\n\n";
+      std::cout << kUsage
+                << "\nrunning the full demo on the built-in Fig. 1 "
+                   "design:\n\n";
       topo = graph::parse_netlist_string(kFig1Netlist);
       std::cout << "--- validate ---\n";
       cmd_validate(topo);
@@ -239,7 +544,7 @@ int main(int argc, char** argv) {
       std::cout << topo.to_dot();
       return 0;
     }
-    std::cerr << "unknown command '" << cmd << "'\n";
+    std::cerr << "unknown command '" << cmd << "'\n\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,129 @@
+// liplib/campaign/campaign.hpp
+//
+// The campaign engine: a work-stealing thread pool that runs large
+// batches of independent simulation jobs — deadlock screens, steady-state
+// analyses, full-data spot checks, randomized topology fuzzing — and
+// collects structured per-job results.
+//
+// The paper's premise makes this the natural scaling axis: one skeleton
+// run is "absolutely negligible", so the interesting unit of work is a
+// *fleet* of runs (sweeps over station counts and policies, thousand-case
+// fuzz passes, screening whole design families).  The engine provides:
+//
+//  - determinism: job `i` of a campaign with base seed `s` always sees
+//    the same random stream (SplitMix64 of (s, i)), no matter how many
+//    worker threads execute the batch or in which order jobs are stolen.
+//    Results are reported in job-index order, so the aggregate of a
+//    campaign is byte-identical at any thread count.
+//  - bounded failure: every job runs under a cycle budget.  A deadlocked
+//    or non-converging simulation degrades to a recorded
+//    `kBudgetExhausted` verdict instead of hanging the batch; a job that
+//    throws degrades to `kError` carrying the exception text.  The pool
+//    itself never stalls on a bad job.
+//  - work stealing: each worker owns a deque seeded with a contiguous
+//    slice of the batch; an idle worker steals from the back of the
+//    busiest victim, so skewed job costs (one topology that takes its
+//    whole budget amid thousands of trivial ones) still load-balance.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "liplib/support/rational.hpp"
+
+namespace liplib::campaign {
+
+/// Verdict of one campaign job.
+enum class Outcome {
+  kLive,             ///< ran to steady state, made progress
+  kDeadlock,         ///< full deadlock detected
+  kStarvation,       ///< steady state reached but some shell never fires
+  kBudgetExhausted,  ///< no verdict within the job's cycle budget
+  kMismatch,         ///< simulation disagreed with an analytic prediction
+  kError,            ///< the job threw; detail carries the message
+};
+
+/// Stable lower-case name of an outcome ("live", "deadlock", ...), used
+/// in JSON/CSV exports.
+const char* outcome_name(Outcome o);
+
+/// Per-job deterministic seed: SplitMix64 mix of the campaign base seed
+/// and the job index.  This is the *only* source of randomness a job may
+/// use (via JobContext::seed / the Rng constructed from it), which is
+/// what makes campaigns reproducible at any thread count.
+std::uint64_t job_seed(std::uint64_t base_seed, std::uint64_t index);
+
+/// Execution context handed to a job function.
+struct JobContext {
+  std::size_t index = 0;        ///< job index within the campaign
+  std::uint64_t seed = 0;       ///< job_seed(base_seed, index)
+  std::uint64_t cycle_budget = 0;  ///< max simulation cycles per verdict
+};
+
+/// Structured result of one job.  `seed` always carries the reproducing
+/// per-job seed so any failure can be replayed in isolation.
+struct JobResult {
+  std::size_t index = 0;
+  std::string name;             ///< copied from the Job
+  std::uint64_t seed = 0;
+  Outcome outcome = Outcome::kError;
+  std::uint64_t cycles = 0;     ///< simulation cycles actually spent
+  bool has_throughput = false;  ///< throughput/transient/period are set
+  Rational throughput{0};       ///< exact system throughput (when live)
+  std::uint64_t transient = 0;
+  std::uint64_t period = 0;
+  std::string detail;           ///< human-readable failure context
+};
+
+/// A campaign job: a name (for reports) plus the function to run.  The
+/// function must derive all randomness from the context and must respect
+/// `cycle_budget` (every liplib analysis entry point takes a max-cycles
+/// argument, so this is a matter of passing it through).
+struct Job {
+  std::string name;
+  std::function<JobResult(const JobContext&)> fn;
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Campaign base seed; combined with each job index via job_seed().
+  std::uint64_t base_seed = 1;
+  /// Cycle budget handed to every job through its context.
+  std::uint64_t cycle_budget = 1u << 20;
+};
+
+/// Execution statistics of one Engine::run (for benchmarking and for
+/// observing the load balance; never part of deterministic aggregates).
+struct RunStats {
+  double wall_seconds = 0;
+  unsigned threads = 0;
+  /// Jobs executed by each worker (sums to the batch size).
+  std::vector<std::size_t> jobs_per_worker;
+  /// Successful steals (jobs a worker took from another's deque).
+  std::size_t steals = 0;
+};
+
+/// Work-stealing batch executor.  Stateless between runs; safe to reuse.
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+
+  /// Runs every job and returns results in job-index order.  Jobs are
+  /// independent; a throwing job is recorded as kError and never affects
+  /// its neighbours.  When `stats` is non-null it receives the run's
+  /// execution statistics.
+  std::vector<JobResult> run(const std::vector<Job>& jobs,
+                             RunStats* stats = nullptr) const;
+
+  const EngineOptions& options() const { return opts_; }
+
+ private:
+  EngineOptions opts_;
+};
+
+}  // namespace liplib::campaign

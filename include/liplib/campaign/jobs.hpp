@@ -1,0 +1,89 @@
+// liplib/campaign/jobs.hpp
+//
+// Standard job factories for the campaign engine: the workloads every
+// experiment in the repo hand-rolled as serial loops, packaged as
+// self-contained campaign jobs.
+//
+//  - screening jobs: skeleton deadlock screening from reset or from
+//    worst-case occupancy (saturate_stations);
+//  - steady-state jobs: skeleton periodicity detection with exact
+//    throughputs;
+//  - spot-check jobs: full-data lip::System steady state plus latency
+//    equivalence against the zero-latency reference (default pearls);
+//  - fuzz jobs: generate a random topology from the job's deterministic
+//    seed (graph::generators + support::Rng), screen it and cross-check
+//    the measured throughput against the analytic bounds — the
+//    EXPERIMENTS.md §T1 offline fuzz pass as a reusable unit.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "liplib/campaign/campaign.hpp"
+#include "liplib/graph/topology.hpp"
+#include "liplib/lip/token.hpp"
+#include "liplib/skeleton/skeleton.hpp"
+
+namespace liplib::campaign {
+
+/// Skeleton deadlock screen of a fixed topology.  Outcome: kLive,
+/// kDeadlock (full deadlock), kStarvation (starved shells), or
+/// kBudgetExhausted when no steady state shows within the cycle budget.
+Job make_screening_job(std::string name, graph::Topology topo,
+                       skeleton::ScreeningOptions opts = {});
+
+/// Skeleton steady-state analysis of a fixed topology: exact throughput,
+/// transient and period.  Outcomes as for screening.
+Job make_steady_state_job(std::string name, graph::Topology topo,
+                          skeleton::SkeletonOptions opts = {});
+
+/// Full-data spot check of a fixed topology: binds default pearls,
+/// measures the steady state on a lip::System and checks latency
+/// equivalence against the reference over the budget (capped).  Outcome
+/// kMismatch when equivalence breaks — the protocol safety net for
+/// campaigns whose bulk runs on skeletons.
+Job make_spot_check_job(std::string name, graph::Topology topo,
+                        lip::StopPolicy policy =
+                            lip::StopPolicy::kCasuDiscardOnVoid);
+
+/// What a fuzz job generates and checks.
+struct FuzzSpec {
+  enum class Shape {
+    /// make_reconvergent with randomized parameters and a randomized
+    /// half/full station mix; measured skeleton throughput is checked
+    /// against the exact implicit-loop bound (equality under the variant
+    /// policy, upper bound under strict).
+    kReconvergent,
+    /// make_random_composite (the paper's "most general topology");
+    /// checked live-from-reset, measured throughput against
+    /// min(loop bound, implicit-loop bound), and latency equivalence on
+    /// the full-data system.
+    kComposite,
+    /// make_random_feedforward; checked live and latency-equivalent.
+    kFeedforward,
+  };
+  Shape shape = Shape::kComposite;
+  lip::StopPolicy policy = lip::StopPolicy::kCasuDiscardOnVoid;
+  /// Size knob: composite segments / feedforward processes; reconvergent
+  /// parameters are drawn from the job's rng within this bound.
+  std::size_t size = 3;
+  /// Also run the full-data latency-equivalence check (slower; the
+  /// skeleton checks alone are nearly free).
+  bool check_equivalence = true;
+};
+
+/// Randomized-topology fuzz job.  The topology is generated from the
+/// job's deterministic rng, so a recorded failure replays from
+/// (campaign seed, job index) alone.
+Job make_fuzz_job(std::string name, FuzzSpec spec);
+
+/// The EXPERIMENTS.md §T1 offline fuzz pass as a campaign: 300 random
+/// reconvergences with mixed half/full chains checked under both stop
+/// policies (600 jobs) plus 150 random composite topologies checked
+/// against the analytic bounds and latency equivalence (150 jobs) —
+/// 750 runs total.
+std::vector<Job> make_t1_fuzz_campaign();
+
+}  // namespace liplib::campaign

@@ -1,0 +1,59 @@
+// liplib/campaign/report.hpp
+//
+// Result aggregation for campaigns: outcome histograms, exact-rational
+// throughput distributions, per-job failure records carrying the
+// reproducing seed — and deterministic JSON/CSV export.  Aggregates are
+// computed from the job-index-ordered result vector only, so a campaign's
+// exported report is byte-identical at any worker-thread count (the
+// campaign determinism test locks this).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "liplib/campaign/campaign.hpp"
+#include "liplib/support/json.hpp"
+#include "liplib/support/rational.hpp"
+
+namespace liplib::campaign {
+
+/// Aggregated view of a finished campaign.
+struct Aggregate {
+  std::size_t total = 0;
+  std::uint64_t total_cycles = 0;
+
+  /// Jobs per outcome, in Outcome enum order (zero-count outcomes kept,
+  /// so the histogram shape is schema-stable).
+  std::vector<std::pair<Outcome, std::size_t>> outcomes;
+
+  /// Exact throughput distribution over jobs that reported one, sorted
+  /// ascending by value.
+  std::vector<std::pair<Rational, std::size_t>> throughputs;
+
+  /// Every non-live job result, in job-index order, with its reproducing
+  /// seed (the campaign's failure record).
+  std::vector<JobResult> failures;
+
+  std::size_t count(Outcome o) const;
+  bool all_live() const { return failures.empty(); }
+  Rational min_throughput() const;  ///< 0 when no job reported one
+  Rational max_throughput() const;  ///< 0 when no job reported one
+};
+
+/// Folds a result vector (as returned by Engine::run, job-index order)
+/// into an Aggregate.
+Aggregate aggregate(const std::vector<JobResult>& results);
+
+/// JSON document of an aggregate (schema in docs/campaign.md).  Contains
+/// only deterministic fields — no wall-clock times, no thread counts.
+Json to_json(const Aggregate& agg);
+
+/// Per-job CSV: header row plus one line per result, in job-index order.
+/// Columns: index,name,seed,outcome,cycles,throughput,transient,period,
+/// detail (detail quoted).
+std::string to_csv(const std::vector<JobResult>& results);
+
+}  // namespace liplib::campaign

@@ -221,7 +221,9 @@ class System {
 
   /// Output port shared by shells and sources: one registered token,
   /// broadcast to `branch` segments, each with a pending bit that clears
-  /// when that consumer takes the datum.
+  /// when that consumer takes the datum.  The mask caps fanout at 32
+  /// branches per port; the constructor rejects wider fanout (ApiError),
+  /// so load() can never truncate silently.
   struct OutPort {
     Token reg;
     std::uint32_t pend = 0;  // bit b set: branch b has not yet consumed reg

@@ -99,6 +99,8 @@ class Skeleton {
                          std::uint64_t env_period = 1);
 
  private:
+  /// Fanout is capped at 32 branches per port (pend is a 32-bit mask);
+  /// the constructor rejects wider fanout, mirroring lip::System.
   struct Port {
     std::uint32_t pend = 0;
     std::vector<std::size_t> branch;  // segment ids

@@ -1,0 +1,170 @@
+// liplib/support/json.hpp
+//
+// A minimal JSON value builder with deterministic serialization: object
+// keys keep insertion order and numbers are emitted exactly (integers as
+// integers, rationals as "num/den" strings), so two structurally equal
+// documents built in the same order serialize byte-identically.  This is
+// what the campaign aggregation layer and the machine-readable bench
+// outputs rely on — no locale, no float formatting drift, no hash-map
+// ordering.
+
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "liplib/support/check.hpp"
+#include "liplib/support/rational.hpp"
+
+namespace liplib {
+
+/// An ordered JSON value (null, bool, integer, double, string, array,
+/// object).  Build with the static factories and set()/push(); serialize
+/// with dump().
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Json(std::uint64_t v)  // NOLINT
+      : kind_(Kind::kUInt), uint_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Json(unsigned v) : kind_(Kind::kUInt), uint_(v) {}  // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}  // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  /// Rationals serialize as the exact string "num/den" (or "num").
+  Json(const Rational& r)  // NOLINT
+      : kind_(Kind::kString), str_(r.str()) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Sets a key on an object (insertion-ordered; duplicate keys are a
+  /// caller bug).  Returns *this for chaining.
+  Json& set(std::string key, Json value) {
+    LIPLIB_EXPECT(kind_ == Kind::kObject, "Json::set on a non-object");
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Appends an element to an array.  Returns *this for chaining.
+  Json& push(Json value) {
+    LIPLIB_EXPECT(kind_ == Kind::kArray, "Json::push on a non-array");
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  bool empty() const { return members_.empty() && elements_.empty(); }
+
+  /// Serializes the value.  indent = 0: compact one-line form; indent > 0:
+  /// pretty-printed with that many spaces per level.
+  std::string dump(int indent = 0) const {
+    std::ostringstream os;
+    write(os, indent, 0);
+    return os.str();
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kUInt, kDouble, kString, kArray,
+                    kObject };
+
+  static void write_escaped(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+  }
+
+  void write(std::ostringstream& os, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    const char* nl = indent > 0 ? "\n" : "";
+    switch (kind_) {
+      case Kind::kNull: os << "null"; break;
+      case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+      case Kind::kInt: os << int_; break;
+      case Kind::kUInt: os << uint_; break;
+      case Kind::kDouble: {
+        // Shortest round-trippable form, locale-independent.
+        std::ostringstream tmp;
+        tmp.imbue(std::locale::classic());
+        tmp.precision(17);
+        tmp << double_;
+        os << tmp.str();
+        break;
+      }
+      case Kind::kString: write_escaped(os, str_); break;
+      case Kind::kArray: {
+        if (elements_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << '[' << nl;
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          if (indent > 0) os << pad;
+          elements_[i].write(os, indent, depth + 1);
+          if (i + 1 < elements_.size()) os << ',';
+          os << nl;
+        }
+        if (indent > 0) os << close_pad;
+        os << ']';
+        break;
+      }
+      case Kind::kObject: {
+        if (members_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << '{' << nl;
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (indent > 0) os << pad;
+          write_escaped(os, members_[i].first);
+          os << (indent > 0 ? ": " : ":");
+          members_[i].second.write(os, indent, depth + 1);
+          if (i + 1 < members_.size()) os << ',';
+          os << nl;
+        }
+        if (indent > 0) os << close_pad;
+        os << '}';
+        break;
+      }
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace liplib

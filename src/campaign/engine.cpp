@@ -1,0 +1,175 @@
+#include "liplib/campaign/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "liplib/support/check.hpp"
+
+namespace liplib::campaign {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kLive: return "live";
+    case Outcome::kDeadlock: return "deadlock";
+    case Outcome::kStarvation: return "starvation";
+    case Outcome::kBudgetExhausted: return "budget_exhausted";
+    case Outcome::kMismatch: return "mismatch";
+    case Outcome::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::uint64_t job_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // SplitMix64 over the combined value: adjacent indices yield
+  // well-separated streams, and the combination is platform-independent.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// One worker's job deque.  The owner pops from the front, thieves pop
+/// from the back; a mutex per deque is ample since jobs are coarse
+/// (whole simulations) relative to the lock.
+struct WorkDeque {
+  std::mutex m;
+  std::deque<std::size_t> jobs;
+
+  bool pop_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(m);
+    if (jobs.empty()) return false;
+    out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+  bool pop_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(m);
+    if (jobs.empty()) return false;
+    out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(m);
+    return jobs.size();
+  }
+};
+
+JobResult run_one(const Job& job, const JobContext& ctx) {
+  JobResult r;
+  try {
+    r = job.fn(ctx);
+  } catch (const std::exception& e) {
+    r = JobResult{};
+    r.outcome = Outcome::kError;
+    r.detail = e.what();
+  } catch (...) {
+    r = JobResult{};
+    r.outcome = Outcome::kError;
+    r.detail = "unknown exception";
+  }
+  // The engine owns the identity fields: jobs cannot misreport them.
+  r.index = ctx.index;
+  r.name = job.name;
+  r.seed = ctx.seed;
+  return r;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts) : opts_(opts) {
+  if (opts_.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts_.threads = hw ? hw : 1;
+  }
+}
+
+std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
+                                   RunStats* stats) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = jobs.size();
+  std::vector<JobResult> results(n);
+  const unsigned threads =
+      n == 0 ? 1u
+             : static_cast<unsigned>(
+                   std::min<std::size_t>(opts_.threads, n));
+
+  auto context_for = [this](std::size_t index) {
+    JobContext ctx;
+    ctx.index = index;
+    ctx.seed = job_seed(opts_.base_seed, index);
+    ctx.cycle_budget = opts_.cycle_budget;
+    return ctx;
+  };
+
+  std::vector<std::size_t> per_worker(threads, 0);
+  std::atomic<std::size_t> steals{0};
+
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = run_one(jobs[i], context_for(i));
+    }
+    per_worker.assign(1, n);
+  } else {
+    // Contiguous slices: worker w starts on jobs [w*n/T, (w+1)*n/T).
+    std::vector<WorkDeque> deques(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      const std::size_t lo = n * w / threads;
+      const std::size_t hi = n * (w + 1) / threads;
+      for (std::size_t i = lo; i < hi; ++i) deques[w].jobs.push_back(i);
+    }
+
+    auto worker = [&](unsigned self) {
+      std::size_t idx;
+      for (;;) {
+        if (deques[self].pop_front(idx)) {
+          results[idx] = run_one(jobs[idx], context_for(idx));
+          ++per_worker[self];
+          continue;
+        }
+        // Own deque empty: steal from the victim with the most work.
+        unsigned victim = threads;
+        std::size_t best = 0;
+        for (unsigned v = 0; v < threads; ++v) {
+          if (v == self) continue;
+          const std::size_t sz = deques[v].size();
+          if (sz > best) {
+            best = sz;
+            victim = v;
+          }
+        }
+        if (victim == threads) return;  // nothing left anywhere
+        if (deques[victim].pop_back(idx)) {
+          steals.fetch_add(1, std::memory_order_relaxed);
+          results[idx] = run_one(jobs[idx], context_for(idx));
+          ++per_worker[self];
+        }
+        // On a failed steal (raced another thief), re-scan; the loop
+        // terminates because every scan that finds no work returns.
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  if (stats) {
+    const auto t1 = std::chrono::steady_clock::now();
+    stats->wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    stats->threads = threads;
+    stats->jobs_per_worker = per_worker;
+    stats->steals = steals.load();
+  }
+  return results;
+}
+
+}  // namespace liplib::campaign

@@ -1,0 +1,352 @@
+#include "liplib/campaign/jobs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "liplib/graph/analysis.hpp"
+#include "liplib/graph/generators.hpp"
+#include "liplib/lip/design.hpp"
+#include "liplib/lip/steady_state.hpp"
+#include "liplib/pearls/pearls.hpp"
+#include "liplib/support/rng.hpp"
+
+namespace liplib::campaign {
+
+namespace {
+
+const char* policy_name(lip::StopPolicy p) {
+  return p == lip::StopPolicy::kCarloniStrict ? "strict" : "variant";
+}
+
+std::unique_ptr<lip::Pearl> default_pearl(std::size_t num_in,
+                                          std::size_t num_out) {
+  if (num_in == 1 && num_out == 1) return pearls::make_identity();
+  if (num_in == 2 && num_out == 1) return pearls::make_adder();
+  if (num_in == 1 && num_out == 2) return pearls::make_fork2();
+  if (num_in == 2 && num_out == 2) return pearls::make_butterfly();
+  if (num_in == 0 && num_out == 1) return pearls::make_generator(0, 1);
+  throw ApiError("no default pearl for arity " + std::to_string(num_in) +
+                 "->" + std::to_string(num_out));
+}
+
+lip::Design make_default_design(graph::Topology topo) {
+  lip::Design d(std::move(topo));
+  const auto& t = d.topology();
+  for (graph::NodeId v = 0; v < t.nodes().size(); ++v) {
+    if (t.node(v).kind != graph::NodeKind::kProcess) continue;
+    d.set_pearl(v, default_pearl(t.node(v).num_inputs,
+                                 t.node(v).num_outputs));
+  }
+  return d;
+}
+
+JobResult from_screening(const skeleton::ScreeningVerdict& v) {
+  JobResult r;
+  r.cycles = v.cycles_simulated;
+  if (!v.ran_to_steady_state) {
+    r.outcome = Outcome::kBudgetExhausted;
+    r.detail = "no steady state within the cycle budget";
+    return r;
+  }
+  r.has_throughput = true;
+  r.throughput = v.min_throughput;
+  r.transient = v.transient;
+  r.period = v.period;
+  if (v.deadlock_found) {
+    if (!v.starved.empty() && v.min_throughput > Rational(0)) {
+      r.outcome = Outcome::kStarvation;
+      r.detail = std::to_string(v.starved.size()) + " starved shell(s)";
+    } else {
+      r.outcome = Outcome::kDeadlock;
+      r.detail = "deadlock in steady state";
+    }
+  } else {
+    r.outcome = Outcome::kLive;
+  }
+  return r;
+}
+
+JobResult from_skeleton_result(const skeleton::SkeletonResult& res,
+                               std::uint64_t cycles) {
+  JobResult r;
+  r.cycles = cycles;
+  if (!res.found) {
+    r.outcome = Outcome::kBudgetExhausted;
+    r.detail = "no steady state within the cycle budget";
+    return r;
+  }
+  r.has_throughput = true;
+  r.throughput = res.system_throughput();
+  r.transient = res.transient;
+  r.period = res.period;
+  if (res.deadlocked) {
+    r.outcome = Outcome::kDeadlock;
+    r.detail = "deadlock in steady state";
+  } else if (res.has_starved_shell) {
+    r.outcome = Outcome::kStarvation;
+    r.detail = std::to_string(res.starved_shells().size()) +
+               " starved shell(s)";
+  } else {
+    r.outcome = Outcome::kLive;
+  }
+  return r;
+}
+
+/// Randomizes the station kinds of a feedforward topology in place
+/// (~1/3 half stations) — the "mixed half/full chains" of the T1 pass.
+void mix_station_kinds(graph::Topology& topo, Rng& rng) {
+  for (graph::ChannelId c = 0; c < topo.channels().size(); ++c) {
+    for (auto& kind : topo.channel_mut(c).stations) {
+      kind = rng.chance(1, 3) ? graph::RsKind::kHalf : graph::RsKind::kFull;
+    }
+  }
+}
+
+JobResult fuzz_reconvergent(const FuzzSpec& spec, Rng& rng,
+                            std::uint64_t budget);
+JobResult fuzz_composite(const FuzzSpec& spec, Rng& rng,
+                         std::uint64_t budget);
+JobResult fuzz_feedforward(const FuzzSpec& spec, Rng& rng,
+                           std::uint64_t budget);
+
+}  // namespace
+
+Job make_screening_job(std::string name, graph::Topology topo,
+                       skeleton::ScreeningOptions opts) {
+  return Job{std::move(name),
+             [topo = std::move(topo), opts](const JobContext& ctx) {
+               return from_screening(
+                   skeleton::screen_for_deadlock(topo, opts,
+                                                 ctx.cycle_budget));
+             }};
+}
+
+Job make_steady_state_job(std::string name, graph::Topology topo,
+                          skeleton::SkeletonOptions opts) {
+  return Job{std::move(name),
+             [topo = std::move(topo), opts](const JobContext& ctx) {
+               skeleton::Skeleton sk(topo, opts);
+               const auto res = sk.analyze(ctx.cycle_budget);
+               return from_skeleton_result(res, sk.cycle());
+             }};
+}
+
+Job make_spot_check_job(std::string name, graph::Topology topo,
+                        lip::StopPolicy policy) {
+  return Job{
+      std::move(name),
+      [topo = std::move(topo), policy](const JobContext& ctx) {
+        auto design = make_default_design(topo);
+        lip::SystemOptions opts;
+        opts.policy = policy;
+        auto sys = design.instantiate(opts);
+        const auto ss = lip::measure_steady_state(*sys, ctx.cycle_budget);
+        JobResult r;
+        r.cycles = sys->cycle();
+        if (!ss.found) {
+          r.outcome = Outcome::kBudgetExhausted;
+          r.detail = "no steady state within the cycle budget";
+          return r;
+        }
+        r.has_throughput = true;
+        r.throughput = ss.system_throughput();
+        r.transient = ss.transient;
+        r.period = ss.period;
+        if (ss.deadlocked) {
+          r.outcome = Outcome::kDeadlock;
+          r.detail = "deadlock in steady state";
+          return r;
+        }
+        // Full-data safety net: the LID's sink streams must prefix the
+        // zero-latency reference.  Equivalence runs are full-data, so
+        // the horizon is capped independently of the skeleton budget.
+        const std::uint64_t horizon =
+            std::min<std::uint64_t>(ctx.cycle_budget, 2048);
+        const auto equiv =
+            lip::check_latency_equivalence(design, opts, horizon);
+        if (!equiv.ok) {
+          r.outcome = Outcome::kMismatch;
+          r.detail = "latency equivalence broken: " + equiv.detail;
+          return r;
+        }
+        r.outcome =
+            ss.has_starved_shell ? Outcome::kStarvation : Outcome::kLive;
+        return r;
+      }};
+}
+
+namespace {
+
+JobResult fuzz_reconvergent(const FuzzSpec& spec, Rng& rng,
+                            std::uint64_t budget) {
+  const std::size_t short_st = 1 + rng.below(3);
+  const std::size_t long_shells =
+      1 + rng.below(std::max<std::size_t>(spec.size, 1));
+  const std::size_t per_hop = 1 + rng.below(3);
+  auto gen = graph::make_reconvergent(short_st, long_shells, per_hop);
+  mix_station_kinds(gen.topo, rng);
+
+  skeleton::SkeletonOptions sk_opts;
+  sk_opts.policy = spec.policy;
+  skeleton::Skeleton sk(gen.topo, sk_opts);
+  const auto res = sk.analyze(budget);
+  JobResult r = from_skeleton_result(res, sk.cycle());
+  std::ostringstream shape;
+  shape << "reconvergent short=" << short_st << " shells=" << long_shells
+        << " per_hop=" << per_hop << " policy=" << policy_name(spec.policy);
+  if (r.outcome != Outcome::kLive) {
+    r.detail += " (" + shape.str() + ")";
+    return r;
+  }
+
+  const Rational bound = graph::exact_implicit_loop_bound(gen.topo);
+  const bool variant = spec.policy == lip::StopPolicy::kCasuDiscardOnVoid;
+  // The implicit-loop model is exact for the variant protocol; strict
+  // can only be slower (EXPERIMENTS.md §T1 sharpening 2).
+  if ((variant && r.throughput != bound) ||
+      (!variant && r.throughput > bound)) {
+    r.outcome = Outcome::kMismatch;
+    std::ostringstream os;
+    os << "measured " << r.throughput.str() << " vs implicit-loop bound "
+       << bound.str() << " (" << shape.str() << ")";
+    r.detail = os.str();
+  }
+  return r;
+}
+
+JobResult fuzz_composite(const FuzzSpec& spec, Rng& rng,
+                         std::uint64_t budget) {
+  const std::size_t segments =
+      1 + rng.below(std::max<std::size_t>(spec.size, 1));
+  auto gen = graph::make_random_composite(rng, segments,
+                                          /*allow_half=*/true,
+                                          /*allow_half_in_loops=*/false);
+
+  skeleton::SkeletonOptions sk_opts;
+  sk_opts.policy = spec.policy;
+  skeleton::Skeleton sk(gen.topo, sk_opts);
+  const auto res = sk.analyze(budget);
+  JobResult r = from_skeleton_result(res, sk.cycle());
+  if (r.outcome != Outcome::kLive) {
+    r.detail += " (composite segments=" + std::to_string(segments) + ")";
+    return r;
+  }
+
+  // The paper's "slowest subtopology" rule: measured throughput must not
+  // exceed min(loop bound, exact implicit-loop bound).
+  const auto pred = graph::predict_throughput(gen.topo);
+  Rational bound = pred.cycle_bound;
+  if (gen.topo.is_feedforward()) {
+    const Rational implicit = graph::exact_implicit_loop_bound(gen.topo);
+    if (implicit < bound) bound = implicit;
+  }
+  if (r.throughput > bound) {
+    r.outcome = Outcome::kMismatch;
+    std::ostringstream os;
+    os << "measured " << r.throughput.str() << " above analytic bound "
+       << bound.str() << " (composite segments=" << segments << ")";
+    r.detail = os.str();
+    return r;
+  }
+
+  if (spec.check_equivalence) {
+    auto design = make_default_design(gen.topo);
+    lip::SystemOptions opts;
+    opts.policy = spec.policy;
+    const std::uint64_t horizon = std::min<std::uint64_t>(budget, 400);
+    const auto equiv = lip::check_latency_equivalence(design, opts, horizon);
+    if (!equiv.ok) {
+      r.outcome = Outcome::kMismatch;
+      r.detail = "latency equivalence broken: " + equiv.detail;
+    }
+  }
+  return r;
+}
+
+JobResult fuzz_feedforward(const FuzzSpec& spec, Rng& rng,
+                           std::uint64_t budget) {
+  const std::size_t processes =
+      2 + rng.below(std::max<std::size_t>(spec.size, 1));
+  auto gen = graph::make_random_feedforward(rng, processes);
+
+  skeleton::SkeletonOptions sk_opts;
+  sk_opts.policy = spec.policy;
+  skeleton::Skeleton sk(gen.topo, sk_opts);
+  const auto res = sk.analyze(budget);
+  JobResult r = from_skeleton_result(res, sk.cycle());
+  if (r.outcome != Outcome::kLive) {
+    r.detail += " (feedforward processes=" + std::to_string(processes) + ")";
+    return r;
+  }
+
+  if (spec.check_equivalence) {
+    auto design = make_default_design(gen.topo);
+    lip::SystemOptions opts;
+    opts.policy = spec.policy;
+    const std::uint64_t horizon = std::min<std::uint64_t>(budget, 400);
+    const auto equiv = lip::check_latency_equivalence(design, opts, horizon);
+    if (!equiv.ok) {
+      r.outcome = Outcome::kMismatch;
+      r.detail = "latency equivalence broken: " + equiv.detail;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Job make_fuzz_job(std::string name, FuzzSpec spec) {
+  return Job{std::move(name), [spec](const JobContext& ctx) {
+               Rng rng(ctx.seed);
+               switch (spec.shape) {
+                 case FuzzSpec::Shape::kReconvergent:
+                   return fuzz_reconvergent(spec, rng, ctx.cycle_budget);
+                 case FuzzSpec::Shape::kComposite:
+                   return fuzz_composite(spec, rng, ctx.cycle_budget);
+                 case FuzzSpec::Shape::kFeedforward:
+                   return fuzz_feedforward(spec, rng, ctx.cycle_budget);
+               }
+               JobResult r;
+               r.outcome = Outcome::kError;
+               r.detail = "unknown fuzz shape";
+               return r;
+             }};
+}
+
+std::vector<Job> make_t1_fuzz_campaign() {
+  std::vector<Job> jobs;
+  jobs.reserve(750);
+  // 300 random reconvergences with mixed half/full chains, each checked
+  // under both stop policies (600 runs).  The two policy jobs of a pair
+  // share the index-derived random stream only through their own seeds;
+  // the checks are per-policy (equality for variant, upper bound for
+  // strict), so pairing on the same topology is not required for the
+  // claim — each run stands alone and replays from its seed.
+  for (int i = 0; i < 300; ++i) {
+    for (auto policy : {lip::StopPolicy::kCasuDiscardOnVoid,
+                        lip::StopPolicy::kCarloniStrict}) {
+      FuzzSpec spec;
+      spec.shape = FuzzSpec::Shape::kReconvergent;
+      spec.policy = policy;
+      spec.size = 3;
+      jobs.push_back(make_fuzz_job("t1/reconv/" + std::to_string(i) + "/" +
+                                       policy_name(policy),
+                                   spec));
+    }
+  }
+  // 150 random composite topologies checked against the analytic bounds
+  // and latency equivalence (150 runs) — 750 total.
+  for (int i = 0; i < 150; ++i) {
+    FuzzSpec spec;
+    spec.shape = FuzzSpec::Shape::kComposite;
+    spec.policy = lip::StopPolicy::kCasuDiscardOnVoid;
+    spec.size = 4;
+    spec.check_equivalence = true;
+    jobs.push_back(make_fuzz_job("t1/composite/" + std::to_string(i), spec));
+  }
+  return jobs;
+}
+
+}  // namespace liplib::campaign

@@ -1,0 +1,109 @@
+#include "liplib/campaign/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace liplib::campaign {
+
+namespace {
+
+constexpr Outcome kAllOutcomes[] = {
+    Outcome::kLive,            Outcome::kDeadlock, Outcome::kStarvation,
+    Outcome::kBudgetExhausted, Outcome::kMismatch, Outcome::kError,
+};
+
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::size_t Aggregate::count(Outcome o) const {
+  for (const auto& [outcome, n] : outcomes) {
+    if (outcome == o) return n;
+  }
+  return 0;
+}
+
+Rational Aggregate::min_throughput() const {
+  return throughputs.empty() ? Rational(0) : throughputs.front().first;
+}
+
+Rational Aggregate::max_throughput() const {
+  return throughputs.empty() ? Rational(0) : throughputs.back().first;
+}
+
+Aggregate aggregate(const std::vector<JobResult>& results) {
+  Aggregate agg;
+  agg.total = results.size();
+  std::map<Outcome, std::size_t> hist;
+  // std::map over exact Rationals: deterministic ascending order.
+  std::map<Rational, std::size_t> tp;
+  for (const auto& r : results) {
+    agg.total_cycles += r.cycles;
+    ++hist[r.outcome];
+    if (r.has_throughput) ++tp[r.throughput];
+    if (r.outcome != Outcome::kLive) agg.failures.push_back(r);
+  }
+  for (Outcome o : kAllOutcomes) {
+    agg.outcomes.emplace_back(o, hist.count(o) ? hist[o] : 0);
+  }
+  agg.throughputs.assign(tp.begin(), tp.end());
+  return agg;
+}
+
+Json to_json(const Aggregate& agg) {
+  Json outcomes = Json::object();
+  for (const auto& [o, n] : agg.outcomes) {
+    outcomes.set(outcome_name(o), n);
+  }
+
+  Json throughputs = Json::array();
+  for (const auto& [t, n] : agg.throughputs) {
+    throughputs.push(Json::object().set("throughput", t).set("jobs", n));
+  }
+
+  Json failures = Json::array();
+  for (const auto& r : agg.failures) {
+    failures.push(Json::object()
+                      .set("index", r.index)
+                      .set("name", r.name)
+                      .set("seed", r.seed)
+                      .set("outcome", outcome_name(r.outcome))
+                      .set("cycles", r.cycles)
+                      .set("detail", r.detail));
+  }
+
+  return Json::object()
+      .set("schema", "liplib.campaign.aggregate/1")
+      .set("total_jobs", agg.total)
+      .set("total_cycles", agg.total_cycles)
+      .set("outcomes", std::move(outcomes))
+      .set("min_throughput", agg.min_throughput())
+      .set("max_throughput", agg.max_throughput())
+      .set("throughput_histogram", std::move(throughputs))
+      .set("failures", std::move(failures));
+}
+
+std::string to_csv(const std::vector<JobResult>& results) {
+  std::ostringstream os;
+  os << "index,name,seed,outcome,cycles,throughput,transient,period,"
+        "detail\n";
+  for (const auto& r : results) {
+    os << r.index << ',' << csv_quote(r.name) << ',' << r.seed << ','
+       << outcome_name(r.outcome) << ',' << r.cycles << ','
+       << (r.has_throughput ? r.throughput.str() : "") << ','
+       << r.transient << ',' << r.period << ',' << csv_quote(r.detail)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace liplib::campaign

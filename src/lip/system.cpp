@@ -84,14 +84,17 @@ System::System(const graph::Topology& topo, Options opts)
     if (from_node.kind == graph::NodeKind::kProcess) {
       auto& port = shells_[node_index_[ch.from.node]].out[ch.from.port];
       LIPLIB_EXPECT(port.branch.size() < 32,
-                    "more than 32 fanout branches on one output port");
+                    "more than 32 fanout branches on output port " +
+                        std::to_string(ch.from.port) + " of '" +
+                        from_node.name + "'");
       port.branch.push_back(ids.front());
     } else {
       LIPLIB_EXPECT(from_node.kind == graph::NodeKind::kSource,
                     "sink cannot produce");
       auto& port = sources_[node_index_[ch.from.node]].port;
       LIPLIB_EXPECT(port.branch.size() < 32,
-                    "more than 32 fanout branches on one source");
+                    "more than 32 fanout branches on source '" +
+                        from_node.name + "'");
       port.branch.push_back(ids.front());
     }
     // Relay station chain.

@@ -62,10 +62,20 @@ Skeleton::Skeleton(const graph::Topology& topo, SkeletonOptions opts)
     }
     const auto& from_node = topo_.node(ch.from.node);
     if (from_node.kind == graph::NodeKind::kProcess) {
-      shells_[node_index_[ch.from.node]].out[ch.from.port].branch.push_back(
-          ids.front());
+      auto& port = shells_[node_index_[ch.from.node]].out[ch.from.port];
+      // Pending consumers are tracked in a 32-bit mask; a wider fanout
+      // would silently truncate (lip::System enforces the same limit).
+      LIPLIB_EXPECT(port.branch.size() < 32,
+                    "more than 32 fanout branches on output port " +
+                        std::to_string(ch.from.port) + " of '" +
+                        from_node.name + "'");
+      port.branch.push_back(ids.front());
     } else {
-      sources_[node_index_[ch.from.node]].port.branch.push_back(ids.front());
+      auto& port = sources_[node_index_[ch.from.node]].port;
+      LIPLIB_EXPECT(port.branch.size() < 32,
+                    "more than 32 fanout branches on source '" +
+                        from_node.name + "'");
+      port.branch.push_back(ids.front());
     }
     for (std::size_t i = 0; i < ch.num_stations(); ++i) {
       Station st;

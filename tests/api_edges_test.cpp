@@ -7,11 +7,47 @@
 #include "liplib/lip/design.hpp"
 #include "liplib/lip/reference.hpp"
 #include "liplib/lip/steady_state.hpp"
+#include "liplib/skeleton/skeleton.hpp"
 #include "test_util.hpp"
 
 namespace {
 
 using namespace liplib;
+
+/// Source fanning out to `width` sinks through one full station each.
+graph::Topology make_fanout_topology(std::size_t width) {
+  graph::Topology t;
+  const auto src = t.add_source("src");
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto sink = t.add_sink("out" + std::to_string(i));
+    t.connect({src, 0}, {sink, 0}, {graph::RsKind::kFull});
+  }
+  return t;
+}
+
+// The pending-consumer masks are 32 bits wide, so fanout beyond 32 must
+// be rejected at construction instead of silently truncating (the old
+// load() mapped any branch count >= 32 to ~0u).
+TEST(ApiEdges, FanoutBeyond32RejectedBySystem) {
+  EXPECT_THROW(lip::System(make_fanout_topology(33)), ApiError);
+}
+
+TEST(ApiEdges, FanoutBeyond32RejectedBySkeleton) {
+  EXPECT_THROW(skeleton::Skeleton(make_fanout_topology(33)), ApiError);
+}
+
+TEST(ApiEdges, FanoutOf32StillDeliversToEveryBranch) {
+  const auto topo = make_fanout_topology(32);
+  lip::System sys(topo);
+  sys.finalize();
+  sys.run(8);
+  for (graph::NodeId v = 0; v < topo.nodes().size(); ++v) {
+    if (topo.node(v).kind != graph::NodeKind::kSink) continue;
+    EXPECT_GT(sys.sink_count(v), 0u) << topo.node(v).name;
+  }
+  skeleton::Skeleton sk(topo);
+  EXPECT_TRUE(sk.analyze().found);
+}
 
 TEST(ApiEdges, DesignRejectsWrongNodeKinds) {
   auto gen = graph::make_pipeline(1, 1);
