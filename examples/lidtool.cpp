@@ -2,6 +2,7 @@
 // .lid netlist format (see liplib/graph/netlist_io.hpp).
 //
 //   lidtool validate  <file.lid>    structural checks + warnings
+//   lidtool lint      <file.lid>    static protocol analysis (LIP001...)
 //   lidtool analyze   <file.lid>    analytic throughput (formulas + MCR)
 //   lidtool simulate  <file.lid>    skeleton simulation to steady state
 //   lidtool screen    <file.lid>    deadlock screening (reset + worst case)
@@ -30,6 +31,7 @@
 #include "liplib/graph/mcr.hpp"
 #include "liplib/flow/design_flow.hpp"
 #include "liplib/graph/netlist_io.hpp"
+#include "liplib/lint/lint.hpp"
 #include "liplib/lip/steady_state.hpp"
 #include "liplib/pearls/design_io.hpp"
 #include "liplib/skeleton/skeleton.hpp"
@@ -44,6 +46,13 @@ const char* kUsage =
 
 structural commands (take a .lid netlist file):
   validate  <file.lid>          structural checks + warnings
+  lint      <file.lid>          static protocol analysis (rules LIP001...,
+                                see docs/lint.md); exit 0 clean / 1 warnings
+                                / 2 errors
+    --json      render the report as canonical JSON
+    --fix       apply machine-applicable fix-its; the cured netlist goes
+                to -o FILE (or stdout) and the report to stderr
+    -o FILE     output file for the cured netlist
   analyze   <file.lid>          analytic throughput (formulas + MCR)
   simulate  <file.lid>          skeleton simulation to steady state
   screen    <file.lid>          deadlock screening (reset + worst case)
@@ -59,6 +68,8 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
   campaign sweep <file.lid>     steady-state sweep over station counts
                                 and stop policies
   campaign fuzz <N>             screen N random topologies
+  campaign lint <N>             cross-check the linter against worst-case
+                                screening on N random topologies
   campaign t1                   the EXPERIMENTS.md T1 fuzz pass
                                 (750 randomized runs) on the engine
   campaign options:
@@ -99,6 +110,40 @@ int cmd_validate(const graph::Topology& topo) {
     std::cout << report.to_string();
   }
   return report.ok() ? 0 : 1;
+}
+
+int cmd_lint(const graph::Topology& topo, bool json, bool fix,
+             const std::string& out_path) {
+  if (!fix) {
+    const auto report = lint::run_lint(topo);
+    if (json) {
+      std::cout << report.to_json(topo).dump(2) << "\n";
+    } else {
+      std::cout << report.to_string(topo);
+    }
+    return report.exit_code();
+  }
+  const auto result = lint::lint_and_fix(topo);
+  if (json) {
+    std::cerr << result.report.to_json(result.fixed).dump(2) << "\n";
+  } else {
+    std::cerr << "applied " << result.applied << " station edit(s) in "
+              << result.iterations << " round(s)\n"
+              << result.report.to_string(result.fixed);
+  }
+  const auto netlist = graph::write_netlist(result.fixed);
+  if (out_path.empty()) {
+    std::cout << netlist;
+  } else {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 2;
+    }
+    os << netlist;
+    std::cerr << "wrote " << out_path << "\n";
+  }
+  return result.report.exit_code();
 }
 
 int cmd_analyze(const graph::Topology& topo) {
@@ -449,7 +494,7 @@ int cmd_campaign_fuzz(std::size_t n, CampaignArgs args) {
 
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "campaign requires a mode: sweep | fuzz | t1\n"
+    std::cerr << "campaign requires a mode: sweep | fuzz | lint | t1\n"
               << kUsage;
     return 2;
   }
@@ -478,6 +523,16 @@ int cmd_campaign(int argc, char** argv) {
         static_cast<std::size_t>(parse_u64(args.positional[0], "fuzz count"));
     return cmd_campaign_fuzz(n, std::move(args));
   }
+  if (mode == "lint") {
+    if (args.positional.size() != 1) {
+      std::cerr << "campaign lint requires a job count\n";
+      return 2;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(parse_u64(args.positional[0], "lint count"));
+    return run_campaign_and_report(campaign::make_lint_crosscheck_campaign(n),
+                                   args);
+  }
   if (mode == "t1") {
     std::cout << "EXPERIMENTS.md T1 fuzz pass: 300 random reconvergences "
                  "x 2 policies + 150 random composites = 750 runs\n\n";
@@ -499,6 +554,17 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(argc, argv);
 
     graph::Topology topo;
+    // Arguments after the netlist file; every command must consume all
+    // of them — unknown trailing flags are rejected, not ignored.
+    std::vector<std::string> rest;
+    for (int i = 3; i < argc; ++i) rest.emplace_back(argv[i]);
+    auto reject_extras = [&](const char* command) {
+      if (rest.empty()) return false;
+      std::cerr << "unknown argument '" << rest.front() << "' for '"
+                << command << "'\n\n"
+                << kUsage;
+      return true;
+    };
     if (argc >= 3) {
       std::ifstream in(argv[2]);
       if (!in) {
@@ -507,7 +573,12 @@ int main(int argc, char** argv) {
       }
       if (cmd == "run") {
         const std::uint64_t cycles =
-            argc >= 4 ? std::stoull(argv[3]) : 1000;
+            rest.empty() ? 1000 : parse_u64(rest.front(), "run cycle count");
+        if (rest.size() > 1) {
+          std::cerr << "unknown argument '" << rest[1] << "' for 'run'\n\n"
+                    << kUsage;
+          return 2;
+        }
         return cmd_run(in, cycles);
       }
       // Structural commands accept annotated files too.
@@ -524,6 +595,8 @@ int main(int argc, char** argv) {
       topo = graph::parse_netlist_string(kFig1Netlist);
       std::cout << "--- validate ---\n";
       cmd_validate(topo);
+      std::cout << "--- lint ---\n";
+      cmd_lint(topo, /*json=*/false, /*fix=*/false, "");
       std::cout << "--- analyze ---\n";
       cmd_analyze(topo);
       std::cout << "--- simulate ---\n";
@@ -533,14 +606,56 @@ int main(int argc, char** argv) {
       std::cout << "--- equalize ---\n";
       return cmd_equalize(std::move(topo));
     }
-    if (cmd == "validate") return cmd_validate(topo);
-    if (cmd == "analyze") return cmd_analyze(topo);
-    if (cmd == "simulate") return cmd_simulate(topo);
-    if (cmd == "screen") return cmd_screen(topo);
-    if (cmd == "cure") return cmd_cure(topo);
-    if (cmd == "equalize") return cmd_equalize(std::move(topo));
-    if (cmd == "flow") return cmd_flow(topo);
+    if (cmd == "lint") {
+      bool json = false;
+      bool fix = false;
+      std::string out_path;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == "--json") {
+          json = true;
+        } else if (rest[i] == "--fix") {
+          fix = true;
+        } else if (rest[i] == "-o") {
+          LIPLIB_EXPECT(i + 1 < rest.size(), "-o requires a file name");
+          out_path = rest[++i];
+        } else {
+          std::cerr << "unknown lint option '" << rest[i] << "'\n\n"
+                    << kUsage;
+          return 2;
+        }
+      }
+      return cmd_lint(topo, json, fix, out_path);
+    }
+    if (cmd == "validate") {
+      if (reject_extras("validate")) return 2;
+      return cmd_validate(topo);
+    }
+    if (cmd == "analyze") {
+      if (reject_extras("analyze")) return 2;
+      return cmd_analyze(topo);
+    }
+    if (cmd == "simulate") {
+      if (reject_extras("simulate")) return 2;
+      return cmd_simulate(topo);
+    }
+    if (cmd == "screen") {
+      if (reject_extras("screen")) return 2;
+      return cmd_screen(topo);
+    }
+    if (cmd == "cure") {
+      if (reject_extras("cure")) return 2;
+      return cmd_cure(topo);
+    }
+    if (cmd == "equalize") {
+      if (reject_extras("equalize")) return 2;
+      return cmd_equalize(std::move(topo));
+    }
+    if (cmd == "flow") {
+      if (reject_extras("flow")) return 2;
+      return cmd_flow(topo);
+    }
     if (cmd == "dot") {
+      if (reject_extras("dot")) return 2;
       std::cout << topo.to_dot();
       return 0;
     }

@@ -23,6 +23,7 @@
 
 #include "liplib/campaign/campaign.hpp"
 #include "liplib/graph/topology.hpp"
+#include "liplib/lint/lint.hpp"
 #include "liplib/lip/token.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 
@@ -78,6 +79,36 @@ struct FuzzSpec {
 /// job's deterministic rng, so a recorded failure replays from
 /// (campaign seed, job index) alone.
 Job make_fuzz_job(std::string name, FuzzSpec spec);
+
+/// Static lint of a fixed topology — mass-linting a corpus of netlists
+/// is a campaign of these.  Outcome: kLive when the report is clean
+/// (no errors, no warnings), kDeadlock when LIP006 found a stop latch,
+/// kError for any other error/warning; detail carries the first
+/// offending diagnostics.  Purely static: r.cycles stays 0.
+Job make_lint_job(std::string name, graph::Topology topo,
+                  lint::Options options = {});
+
+/// What a lint cross-check job generates and verifies.
+struct LintCrossCheckSpec {
+  /// Upper bound on make_random_composite segments (drawn per job).
+  std::size_t max_segments = 4;
+  /// Also require that lint_and_fix's output re-lints clean and screens
+  /// live under worst-case occupancy whenever a hazard was found.
+  bool check_fix = true;
+};
+
+/// The linter-vs-simulator agreement check as a job: generates a random
+/// composite topology from the job's deterministic seed (half stations
+/// allowed on loops for half the jobs, so both verdicts are exercised),
+/// and demands that the static LIP006 verdict equal the dynamic
+/// worst-case screening verdict exactly — kMismatch on any disagreement,
+/// kLive otherwise.  With `check_fix`, hazardous topologies are also
+/// cured via lint_and_fix and the cure is re-screened.
+Job make_lint_crosscheck_job(std::string name, LintCrossCheckSpec spec = {});
+
+/// `n` cross-check jobs (the keystone campaign; lidtool `campaign lint`).
+std::vector<Job> make_lint_crosscheck_campaign(std::size_t n,
+                                               LintCrossCheckSpec spec = {});
 
 /// The EXPERIMENTS.md §T1 offline fuzz pass as a campaign: 300 random
 /// reconvergences with mixed half/full chains checked under both stop

@@ -24,6 +24,7 @@
 
 #include "liplib/graph/topology.hpp"
 #include "liplib/graph/wire_plan.hpp"
+#include "liplib/lint/lint.hpp"
 #include "liplib/support/rational.hpp"
 
 namespace liplib::flow {
@@ -50,6 +51,10 @@ struct FlowResult {
   std::vector<std::string> log;  ///< one line per flow step
 
   // Step outcomes.
+  /// Full lint report (all rules): of the input when validation fails or
+  /// the flow aborts early, of the finished topology otherwise.
+  lint::Report lint;
+  /// Structural subset of `lint` in the legacy shape (gates the flow).
   graph::ValidationReport validation;
   std::size_t stations_inserted = 0;
   std::size_t spare_inserted = 0;

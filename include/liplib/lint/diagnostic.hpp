@@ -1,0 +1,98 @@
+// liplib/lint/diagnostic.hpp
+//
+// Structured diagnostics for the static protocol analyzer.  Every finding
+// carries a stable rule id (LIP001...), a severity, an optional locus
+// (node and/or channel of the topology under analysis), a human-readable
+// message and zero or more machine-applicable fix-its.  A Report renders
+// deterministically as text or canonical JSON (support/json.hpp), so lint
+// output can be golden-tested byte-for-byte and consumed by tools.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liplib/graph/topology.hpp"
+#include "liplib/support/json.hpp"
+
+namespace liplib::lint {
+
+/// Diagnostic severity, ordered by badness.
+enum class Severity {
+  kInfo,     ///< a note (performance prediction, refined hazard status)
+  kWarning,  ///< a hazard that does not invalidate the design
+  kError,    ///< a protocol violation; the design cannot run
+};
+
+/// Stable lower-case name: "info", "warning", "error".
+const char* severity_name(Severity s);
+
+/// A machine-applicable topology edit curing (part of) a diagnostic.
+/// Fix-its always describe station edits — the paper's cures are all
+/// "adding/substituting few relay stations".
+struct FixIt {
+  enum class Kind {
+    kInsertStation,      ///< insert `count` stations of `station` at `index`
+    kSubstituteStation,  ///< replace the station at `index` with `station`
+    kAppendStations,     ///< append `count` stations of `station`
+  };
+  Kind kind = Kind::kInsertStation;
+  graph::ChannelId channel = 0;
+  std::size_t index = 0;  ///< station position (insert / substitute)
+  std::size_t count = 1;  ///< stations touched (insert / append)
+  graph::RsKind station = graph::RsKind::kFull;
+  std::string description;  ///< human-readable summary of the edit
+
+  /// Stable lower-case kind name for JSON ("insert_station", ...).
+  const char* kind_name() const;
+
+  friend bool operator==(const FixIt& a, const FixIt& b) {
+    return a.kind == b.kind && a.channel == b.channel && a.index == b.index &&
+           a.count == b.count && a.station == b.station;
+  }
+};
+
+/// One finding of one lint rule.
+struct Diagnostic {
+  std::string rule;  ///< stable id, e.g. "LIP006"
+  Severity severity = Severity::kWarning;
+  std::optional<graph::NodeId> node;        ///< node locus, if any
+  std::optional<graph::ChannelId> channel;  ///< channel locus, if any
+  std::string message;
+  std::vector<FixIt> fixits;
+};
+
+/// The result of a lint run over one topology.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(Severity s) const;
+  std::size_t count_rule(const std::string& rule) const;
+  bool has_rule(const std::string& rule) const {
+    return count_rule(rule) > 0;
+  }
+  /// No errors and no warnings (info notes are fine).
+  bool clean() const {
+    return count(Severity::kError) == 0 && count(Severity::kWarning) == 0;
+  }
+  /// Highest severity present; nullopt for an empty report.
+  std::optional<Severity> max_severity() const;
+  /// Process exit code contract: 0 = clean (at most info), 1 = warnings,
+  /// 2 = errors (lidtool lint).
+  int exit_code() const;
+
+  /// Total fix-its across all diagnostics.
+  std::size_t num_fixits() const;
+
+  /// Human-readable rendering, one "severity[RULE] message" line per
+  /// diagnostic plus indented "fix-it:" lines.  `topo` resolves loci to
+  /// names; must be the linted topology.
+  std::string to_string(const graph::Topology& topo) const;
+
+  /// Canonical JSON (schema "liplib-lint-v1", see docs/lint.md).
+  /// Deterministic: byte-identical for equal reports.
+  Json to_json(const graph::Topology& topo) const;
+};
+
+}  // namespace liplib::lint

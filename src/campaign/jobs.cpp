@@ -315,6 +315,103 @@ Job make_fuzz_job(std::string name, FuzzSpec spec) {
              }};
 }
 
+Job make_lint_job(std::string name, graph::Topology topo,
+                  lint::Options options) {
+  return Job{std::move(name),
+             [topo = std::move(topo), options](const JobContext&) {
+               const auto report = lint::run_lint(topo, options);
+               JobResult r;
+               if (report.clean()) {
+                 r.outcome = Outcome::kLive;
+                 return r;
+               }
+               r.outcome = report.has_rule("LIP006") ? Outcome::kDeadlock
+                                                     : Outcome::kError;
+               std::ostringstream os;
+               std::size_t shown = 0;
+               for (const auto& d : report.diagnostics) {
+                 if (d.severity == lint::Severity::kInfo) continue;
+                 if (shown++) os << "; ";
+                 if (shown > 3) {
+                   os << "...";
+                   break;
+                 }
+                 os << lint::severity_name(d.severity) << '[' << d.rule
+                    << "] " << d.message;
+               }
+               r.detail = os.str();
+               return r;
+             }};
+}
+
+Job make_lint_crosscheck_job(std::string name, LintCrossCheckSpec spec) {
+  return Job{std::move(name), [spec](const JobContext& ctx) {
+    Rng rng(ctx.seed);
+    const std::size_t segments =
+        1 + rng.below(std::max<std::size_t>(spec.max_segments, 1));
+    // Half the jobs allow half stations on loops: those topologies can
+    // carry a latent stop latch, so both verdicts get exercised.
+    const bool risky = rng.chance(1, 2);
+    auto gen = graph::make_random_composite(rng, segments,
+                                            /*allow_half=*/true,
+                                            /*allow_half_in_loops=*/risky);
+
+    lint::Options structural;
+    structural.structural_only = true;
+    const auto report = lint::run_lint(gen.topo, structural);
+    const bool hazard = report.has_rule("LIP006");
+
+    skeleton::ScreeningOptions wc;
+    wc.worst_case_occupancy = true;
+    const auto verdict =
+        skeleton::screen_for_deadlock(gen.topo, wc, ctx.cycle_budget);
+    JobResult r;
+    r.cycles = verdict.cycles_simulated;
+    if (!verdict.ran_to_steady_state) {
+      r.outcome = Outcome::kBudgetExhausted;
+      r.detail = "no steady state within the cycle budget";
+      return r;
+    }
+    if (hazard != verdict.deadlock_found) {
+      r.outcome = Outcome::kMismatch;
+      r.detail = std::string("lint says ") +
+                 (hazard ? "stop latch" : "clean") + ", screening says " +
+                 (verdict.deadlock_found ? "deadlock" : "live") +
+                 " (segments=" + std::to_string(segments) + ")";
+      return r;
+    }
+    if (hazard && spec.check_fix) {
+      const auto fixed = lint::lint_and_fix(gen.topo, structural);
+      if (!fixed.report.clean()) {
+        r.outcome = Outcome::kMismatch;
+        r.detail = "lint --fix did not converge to a clean report";
+        return r;
+      }
+      const auto cured =
+          skeleton::screen_for_deadlock(fixed.fixed, wc, ctx.cycle_budget);
+      r.cycles += cured.cycles_simulated;
+      if (cured.deadlock_found) {
+        r.outcome = Outcome::kMismatch;
+        r.detail = "lint --fix output still deadlocks under worst case";
+        return r;
+      }
+    }
+    r.outcome = Outcome::kLive;
+    return r;
+  }};
+}
+
+std::vector<Job> make_lint_crosscheck_campaign(std::size_t n,
+                                               LintCrossCheckSpec spec) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(
+        make_lint_crosscheck_job("lint-xcheck/" + std::to_string(i), spec));
+  }
+  return jobs;
+}
+
 std::vector<Job> make_t1_fuzz_campaign() {
   std::vector<Job> jobs;
   jobs.reserve(750);

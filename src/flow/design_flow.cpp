@@ -5,6 +5,7 @@
 #include "liplib/graph/analysis.hpp"
 #include "liplib/graph/equalize.hpp"
 #include "liplib/graph/mcr.hpp"
+#include "liplib/lint/lint.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 
 namespace liplib::flow {
@@ -21,10 +22,18 @@ FlowResult run_design_flow(const graph::Topology& topo,
   r.topology = topo;
   auto say = [&](std::string line) { r.log.push_back(std::move(line)); };
 
-  // 1. Validation (station rule only enforced when we are not about to
-  //    insert stations ourselves).
+  // 1. Validation via the lint engine (station rule only enforced when
+  //    we are not about to insert stations ourselves).  The flow gates on
+  //    the structural rules; the performance rules become log notes.
   const bool planning = !options.wire_lengths.empty();
-  r.validation = r.topology.validate(!planning);
+  lint::Options lint_options;
+  lint_options.require_station_between_shells = !planning;
+  r.lint = lint::run_lint(r.topology, lint_options);
+  lint::Report structural;
+  for (const auto& d : r.lint.diagnostics) {
+    if (d.rule <= "LIP006") structural.diagnostics.push_back(d);
+  }
+  r.validation = lint::to_validation_report(structural);
   if (!r.validation.ok()) {
     say("validation FAILED:");
     for (const auto& issue : r.validation.issues) {
@@ -32,8 +41,10 @@ FlowResult run_design_flow(const graph::Topology& topo,
     }
     return r;
   }
-  say("validation: ok (" + std::to_string(r.validation.issues.size()) +
-      " warning(s))");
+  say("validation: ok (" +
+      std::to_string(r.lint.count(lint::Severity::kWarning)) +
+      " warning(s), " + std::to_string(r.lint.count(lint::Severity::kInfo)) +
+      " note(s))");
 
   // 2. Wire planning.
   if (planning) {
@@ -50,10 +61,13 @@ FlowResult run_design_flow(const graph::Topology& topo,
   const bool equalize_now = options.wire.equalize;
 
   // 2b. Static latch check (structural counterpart of worst-case
-  //     screening): combinational stop cycles.
+  //     screening): LIP006 on the planned topology.
   {
-    const auto latches = graph::find_stop_cycles(r.topology);
-    say("static stop-cycle check: " + std::to_string(latches.size()) +
+    lint::Options structural_options;
+    structural_options.structural_only = true;
+    const auto planned = lint::run_lint(r.topology, structural_options);
+    say("static stop-cycle check: " +
+        std::to_string(planned.count_rule("LIP006")) +
         " combinational stop cycle(s)");
   }
 
@@ -124,7 +138,15 @@ FlowResult run_design_flow(const graph::Topology& topo,
       (r.loop_bound ? " (loop bound " + r.loop_bound->str() + ")" : "") +
       ", transient bound " + std::to_string(r.transient_bound));
 
-  r.ok = true;
+  // Final lint of the finished design; the flow only signs off a design
+  // the linter considers clean of errors.
+  r.lint = lint::run_lint(r.topology);
+  say("lint: " + std::to_string(r.lint.count(lint::Severity::kError)) +
+      " error(s), " + std::to_string(r.lint.count(lint::Severity::kWarning)) +
+      " warning(s), " + std::to_string(r.lint.count(lint::Severity::kInfo)) +
+      " note(s)");
+
+  r.ok = r.lint.count(lint::Severity::kError) == 0;
   return r;
 }
 

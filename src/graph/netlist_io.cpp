@@ -8,44 +8,70 @@ namespace liplib::graph {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw ApiError("netlist line " + std::to_string(line) + ": " + msg);
+/// The line being parsed: its number plus the text as read, so parse
+/// errors can show the offending line with a caret under the bad token.
+struct LineRef {
+  std::size_t number = 0;
+  const std::string* text = nullptr;
+};
+
+[[noreturn]] void fail(const LineRef& line, const std::string& msg,
+                       const std::string& token = {}) {
+  std::string out = "netlist line " + std::to_string(line.number) + ": " + msg;
+  if (line.text != nullptr && !line.text->empty()) {
+    out += "\n  " + *line.text;
+    std::size_t col =
+        token.empty() ? std::string::npos : line.text->find(token);
+    if (col == std::string::npos) col = line.text->find_first_not_of(" \t");
+    if (col != std::string::npos) {
+      // Pad with the line's own tabs so the caret lines up in terminals.
+      std::string pad;
+      for (std::size_t i = 0; i < col; ++i) {
+        pad += (*line.text)[i] == '\t' ? '\t' : ' ';
+      }
+      const std::size_t width = token.empty() ? 1 : token.size();
+      out += "\n  " + pad + "^" + std::string(width - 1, '~');
+    }
+  }
+  throw ApiError(out);
 }
 
 /// Splits "name.port" into its parts.
-std::pair<std::string, std::size_t> parse_port_ref(std::size_t line,
+std::pair<std::string, std::size_t> parse_port_ref(const LineRef& line,
                                                    const std::string& tok) {
   const auto dot = tok.rfind('.');
   if (dot == std::string::npos || dot == 0 || dot + 1 == tok.size()) {
-    fail(line, "expected <name>.<port>, got '" + tok + "'");
+    fail(line, "expected <name>.<port>, got '" + tok + "'", tok);
   }
   const std::string name = tok.substr(0, dot);
   const std::string port_str = tok.substr(dot + 1);
   std::size_t port = 0;
   for (char c : port_str) {
-    if (c < '0' || c > '9') fail(line, "bad port number in '" + tok + "'");
+    if (c < '0' || c > '9') {
+      fail(line, "bad port number in '" + tok + "'", tok);
+    }
     port = port * 10 + static_cast<std::size_t>(c - '0');
   }
   return {name, port};
 }
 
-std::size_t parse_count(std::size_t line, const std::string& tok,
+std::size_t parse_count(const LineRef& line, const std::string& tok,
                         const char* what) {
   if (tok.empty()) fail(line, std::string("missing ") + what);
   std::size_t v = 0;
   for (char c : tok) {
     if (c < '0' || c > '9') {
-      fail(line, std::string("bad ") + what + " '" + tok + "'");
+      fail(line, std::string("bad ") + what + " '" + tok + "'", tok);
     }
     v = v * 10 + static_cast<std::size_t>(c - '0');
   }
   return v;
 }
 
-RsKind parse_station(std::size_t line, const std::string& tok) {
+RsKind parse_station(const LineRef& line, const std::string& tok) {
   if (tok == "F" || tok == "f" || tok == "full") return RsKind::kFull;
   if (tok == "H" || tok == "h" || tok == "half") return RsKind::kHalf;
-  fail(line, "unknown relay station kind '" + tok + "' (use F or H)");
+  fail(line, "unknown relay station kind '" + tok + "' (use F or H)", tok);
 }
 
 }  // namespace
@@ -57,21 +83,25 @@ AnnotatedNetlist parse_impl(std::istream& in, bool allow_annotations) {
   Topology& topo = result.topo;
   std::map<std::string, NodeId> by_name;
   std::string raw;
+  std::string original;  // the line as read, for diagnostics
   std::size_t line_no = 0;
 
-  auto declare = [&](std::size_t line, const std::string& name, NodeId id) {
+  auto declare = [&](const LineRef& line, const std::string& name,
+                     NodeId id) {
     if (!by_name.emplace(name, id).second) {
-      fail(line, "duplicate node name '" + name + "'");
+      fail(line, "duplicate node name '" + name + "'", name);
     }
   };
-  auto lookup = [&](std::size_t line, const std::string& name) {
+  auto lookup = [&](const LineRef& line, const std::string& name) {
     const auto it = by_name.find(name);
-    if (it == by_name.end()) fail(line, "unknown node '" + name + "'");
+    if (it == by_name.end()) fail(line, "unknown node '" + name + "'", name);
     return it->second;
   };
 
   while (std::getline(in, raw)) {
     ++line_no;
+    original = raw;
+    const LineRef line{line_no, &original};
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.resize(hash);
     std::istringstream ls(raw);
@@ -82,54 +112,55 @@ AnnotatedNetlist parse_impl(std::istream& in, bool allow_annotations) {
       std::string extra;
       if (ls >> extra) {
         if (!allow_annotations) {
-          fail(line_no, "unexpected token '" + extra + "'");
+          fail(line, "unexpected token '" + extra + "'", extra);
         }
         result.node_annotation.resize(topo.nodes().size());
         result.node_annotation[id] = extra;
         std::string more;
-        if (ls >> more) fail(line_no, "unexpected token '" + more + "'");
+        if (ls >> more) fail(line, "unexpected token '" + more + "'", more);
       }
     };
     if (kw == "source" || kw == "sink") {
       std::string name;
-      if (!(ls >> name)) fail(line_no, kw + " needs a name");
+      if (!(ls >> name)) fail(line, kw + " needs a name", kw);
       const NodeId id =
           kw == "source" ? topo.add_source(name) : topo.add_sink(name);
-      declare(line_no, name, id);
+      declare(line, name, id);
       take_annotation(id);
     } else if (kw == "process") {
       std::string name, ins, outs;
       if (!(ls >> name >> ins >> outs)) {
-        fail(line_no, "process needs <name> <num_inputs> <num_outputs>");
+        fail(line, "process needs <name> <num_inputs> <num_outputs>", kw);
       }
-      const auto ni = parse_count(line_no, ins, "input count");
-      const auto no = parse_count(line_no, outs, "output count");
-      if (ni + no == 0) fail(line_no, "process with no ports");
+      const auto ni = parse_count(line, ins, "input count");
+      const auto no = parse_count(line, outs, "output count");
+      if (ni + no == 0) fail(line, "process with no ports", name);
       const NodeId id = topo.add_process(name, ni, no);
-      declare(line_no, name, id);
+      declare(line, name, id);
       take_annotation(id);
     } else if (kw == "channel") {
       std::string from_tok, arrow, to_tok;
       if (!(ls >> from_tok >> arrow >> to_tok) || arrow != "->") {
-        fail(line_no, "channel needs <name>.<port> -> <name>.<port>");
+        fail(line, "channel needs <name>.<port> -> <name>.<port>",
+             arrow.empty() ? kw : arrow);
       }
-      const auto [from_name, from_port] = parse_port_ref(line_no, from_tok);
-      const auto [to_name, to_port] = parse_port_ref(line_no, to_tok);
+      const auto [from_name, from_port] = parse_port_ref(line, from_tok);
+      const auto [to_name, to_port] = parse_port_ref(line, to_tok);
       std::vector<RsKind> stations;
       std::string tok;
       if (ls >> tok) {
-        if (tok != ":") fail(line_no, "expected ':' before stations");
-        while (ls >> tok) stations.push_back(parse_station(line_no, tok));
+        if (tok != ":") fail(line, "expected ':' before stations", tok);
+        while (ls >> tok) stations.push_back(parse_station(line, tok));
       }
-      const NodeId from = lookup(line_no, from_name);
-      const NodeId to = lookup(line_no, to_name);
+      const NodeId from = lookup(line, from_name);
+      const NodeId to = lookup(line, to_name);
       try {
         topo.connect({from, from_port}, {to, to_port}, std::move(stations));
       } catch (const ApiError& e) {
-        fail(line_no, e.what());
+        fail(line, e.what(), kw);
       }
     } else {
-      fail(line_no, "unknown keyword '" + kw + "'");
+      fail(line, "unknown keyword '" + kw + "'", kw);
     }
   }
   result.node_annotation.resize(topo.nodes().size());

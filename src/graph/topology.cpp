@@ -237,70 +237,9 @@ bool Topology::is_feedforward() const {
                       [](bool b) { return b; });
 }
 
-ValidationReport Topology::validate(
-    bool require_station_between_shells) const {
-  ValidationReport report;
-  auto error = [&](std::string msg) {
-    report.issues.push_back(
-        {ValidationIssue::Severity::kError, std::move(msg)});
-  };
-  auto warning = [&](std::string msg) {
-    report.issues.push_back(
-        {ValidationIssue::Severity::kWarning, std::move(msg)});
-  };
-
-  // Every input port must be driven exactly once (connect() already
-  // rejects double drive, so only absence can occur here).
-  for (NodeId v = 0; v < nodes_.size(); ++v) {
-    for (std::size_t p = 0; p < nodes_[v].num_inputs; ++p) {
-      if (!channel_into({v, p})) {
-        error("input port " + std::to_string(p) + " of " + nodes_[v].name +
-              " is not driven");
-      }
-    }
-    // Output ports must drive at least one channel, otherwise tokens pile
-    // up conceptually (the shell could never fire past its first output).
-    for (std::size_t p = 0; p < nodes_[v].num_outputs; ++p) {
-      if (channels_of({v, p}).empty()) {
-        error("output port " + std::to_string(p) + " of " + nodes_[v].name +
-              " drives nothing");
-      }
-    }
-  }
-
-  // Paper rule: at least one memory element (half or full relay station)
-  // must separate two shells, because the stop signal cannot be back
-  // propagated indefinitely through stop-transparent shells.
-  for (const auto& c : channels_) {
-    const bool from_process = nodes_[c.from.node].kind == NodeKind::kProcess;
-    const bool to_process = nodes_[c.to.node].kind == NodeKind::kProcess;
-    if (require_station_between_shells && from_process && to_process &&
-        c.stations.empty()) {
-      error("channel " + nodes_[c.from.node].name + " -> " +
-            nodes_[c.to.node].name +
-            " connects two shells with no relay station (the protocol "
-            "requires at least one memory element between shells)");
-    }
-    if (nodes_[c.from.node].kind == NodeKind::kSource &&
-        nodes_[c.to.node].kind == NodeKind::kSink) {
-      warning("channel " + nodes_[c.from.node].name + " -> " +
-              nodes_[c.to.node].name + " connects a source directly to a sink");
-    }
-  }
-
-  // Paper liveness result: half relay stations are safe everywhere except
-  // on cycles, where they may deadlock.
-  const auto on_cycle = channels_on_cycles();
-  for (ChannelId c = 0; c < channels_.size(); ++c) {
-    if (on_cycle[c] && channels_[c].num_half() > 0) {
-      warning("channel " + nodes_[channels_[c].from.node].name + " -> " +
-              nodes_[channels_[c].to.node].name +
-              " lies on a cycle and contains a half relay station: "
-              "potential deadlock; run skeleton screening");
-    }
-  }
-  return report;
-}
+// Topology::validate() is defined in src/lint/validate_compat.cpp: it is
+// the structural subset of the lint engine, kept there so the graph
+// library has no dependency on liplib_lint.
 
 std::string Topology::to_dot() const {
   std::ostringstream os;

@@ -1,0 +1,150 @@
+#include "liplib/lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace liplib::lint {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* FixIt::kind_name() const {
+  switch (kind) {
+    case Kind::kInsertStation: return "insert_station";
+    case Kind::kSubstituteStation: return "substitute_station";
+    case Kind::kAppendStations: return "append_stations";
+  }
+  return "unknown";
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::size_t Report::count_rule(const std::string& rule) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::optional<Severity> Report::max_severity() const {
+  std::optional<Severity> max;
+  for (const auto& d : diagnostics) {
+    if (!max || static_cast<int>(d.severity) > static_cast<int>(*max)) {
+      max = d.severity;
+    }
+  }
+  return max;
+}
+
+int Report::exit_code() const {
+  if (count(Severity::kError) > 0) return 2;
+  if (count(Severity::kWarning) > 0) return 1;
+  return 0;
+}
+
+std::size_t Report::num_fixits() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) n += d.fixits.size();
+  return n;
+}
+
+namespace {
+
+std::string port_ref(const graph::Topology& topo, graph::NodeId node,
+                     std::size_t port) {
+  return topo.node(node).name + "." + std::to_string(port);
+}
+
+std::string channel_label(const graph::Topology& topo, graph::ChannelId c) {
+  const auto& ch = topo.channel(c);
+  return port_ref(topo, ch.from.node, ch.from.port) + " -> " +
+         port_ref(topo, ch.to.node, ch.to.port);
+}
+
+const char* station_name(graph::RsKind k) {
+  return k == graph::RsKind::kFull ? "full" : "half";
+}
+
+}  // namespace
+
+std::string Report::to_string(const graph::Topology& topo) const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics) {
+    os << severity_name(d.severity) << '[' << d.rule << "] " << d.message
+       << '\n';
+    for (const auto& f : d.fixits) {
+      os << "  fix-it: " << f.description << '\n';
+    }
+  }
+  const auto errors = count(Severity::kError);
+  const auto warnings = count(Severity::kWarning);
+  const auto infos = count(Severity::kInfo);
+  os << errors << " error(s), " << warnings << " warning(s), " << infos
+     << " note(s)\n";
+  (void)topo;
+  return os.str();
+}
+
+Json Report::to_json(const graph::Topology& topo) const {
+  Json doc = Json::object();
+  doc.set("schema", "liplib-lint-v1");
+  Json summary = Json::object();
+  summary.set("errors", static_cast<std::uint64_t>(count(Severity::kError)));
+  summary.set("warnings",
+              static_cast<std::uint64_t>(count(Severity::kWarning)));
+  summary.set("infos", static_cast<std::uint64_t>(count(Severity::kInfo)));
+  summary.set("clean", clean());
+  summary.set("exit_code", exit_code());
+  doc.set("summary", std::move(summary));
+
+  Json diags = Json::array();
+  for (const auto& d : diagnostics) {
+    Json j = Json::object();
+    j.set("rule", d.rule);
+    j.set("severity", severity_name(d.severity));
+    if (d.node) {
+      Json n = Json::object();
+      n.set("id", static_cast<std::uint64_t>(*d.node));
+      n.set("name", topo.node(*d.node).name);
+      j.set("node", std::move(n));
+    }
+    if (d.channel) {
+      const auto& ch = topo.channel(*d.channel);
+      Json c = Json::object();
+      c.set("id", static_cast<std::uint64_t>(*d.channel));
+      c.set("from", port_ref(topo, ch.from.node, ch.from.port));
+      c.set("to", port_ref(topo, ch.to.node, ch.to.port));
+      j.set("channel", std::move(c));
+    }
+    j.set("message", d.message);
+    if (!d.fixits.empty()) {
+      Json fixits = Json::array();
+      for (const auto& f : d.fixits) {
+        Json fx = Json::object();
+        fx.set("kind", f.kind_name());
+        fx.set("channel", static_cast<std::uint64_t>(f.channel));
+        fx.set("channel_label", channel_label(topo, f.channel));
+        fx.set("index", static_cast<std::uint64_t>(f.index));
+        fx.set("count", static_cast<std::uint64_t>(f.count));
+        fx.set("station", station_name(f.station));
+        fx.set("description", f.description);
+        fixits.push(std::move(fx));
+      }
+      j.set("fixits", std::move(fixits));
+    }
+    diags.push(std::move(j));
+  }
+  doc.set("diagnostics", std::move(diags));
+  return doc;
+}
+
+}  // namespace liplib::lint

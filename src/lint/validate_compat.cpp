@@ -1,0 +1,19 @@
+// Topology::validate() is the legacy entry point for structural checking;
+// it is defined here (rather than in graph/) so the graph library stays
+// free of a lint dependency while validate() and the linter can never
+// disagree — validate IS the structural subset of the linter.
+
+#include "liplib/graph/topology.hpp"
+#include "liplib/lint/lint.hpp"
+
+namespace liplib::graph {
+
+ValidationReport Topology::validate(
+    bool require_station_between_shells) const {
+  lint::Options options;
+  options.require_station_between_shells = require_station_between_shells;
+  options.structural_only = true;
+  return lint::to_validation_report(lint::run_lint(*this, options));
+}
+
+}  // namespace liplib::graph

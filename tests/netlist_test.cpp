@@ -106,6 +106,33 @@ TEST(Netlist, ReportsErrorsWithLineNumbers) {
                      "line 5");
 }
 
+TEST(Netlist, ErrorsQuoteTheLineWithACaret) {
+  // The offending line is echoed and a caret column-aligns with the bad
+  // token (tildes underline the rest of it).
+  try {
+    graph::parse_netlist_string("source s\nchannel s.0 -> t.0\n");
+    FAIL() << "expected a parse error";
+  } catch (const ApiError& e) {
+    const std::string what = e.what();
+    const std::string expected =
+        "netlist line 2: unknown node 't'\n"
+        "  channel s.0 -> t.0\n"
+        "  " +
+        std::string(std::string("channel s.0 -> ").size(), ' ') + "^";
+    EXPECT_NE(what.find(expected), std::string::npos) << what;
+  }
+  // Multi-character tokens get an underline as wide as the token.
+  try {
+    graph::parse_netlist_string("source s\nsink o\n"
+                                "channel s.0 -> o.0 : FULL\n");
+    FAIL() << "expected a parse error";
+  } catch (const ApiError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown relay station kind"), std::string::npos);
+    EXPECT_NE(what.find("^~~~"), std::string::npos) << what;
+  }
+}
+
 TEST(Netlist, CommentsAndBlankLinesIgnored) {
   const auto topo = graph::parse_netlist_string(
       "\n# leading comment\n\nsource s  # trailing comment\n\nsink o\n"
