@@ -1,0 +1,116 @@
+// Probe overhead — the ISSUE's acceptance bar: a system with no probe
+// attached must pay exactly one null-pointer test per step, and the
+// instrumented configurations must degrade gracefully (counters <
+// counters+attribution < +trace).  Also measures the raw trace-sink
+// write throughput.  Writes BENCH_probe.json.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "liplib/lip/system.hpp"
+#include "liplib/probe/probe.hpp"
+#include "liplib/probe/trace.hpp"
+#include "liplib/support/table.hpp"
+
+using namespace liplib;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  const char* name;
+  bool attach = false;
+  bool counters = false;
+  bool attribution = false;
+  bool trace = false;
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t cycles = argc > 1 ? std::stoull(argv[1]) : 200000;
+  benchutil::heading("probe overhead on a composite loop chain");
+
+  // The same workload as bench_throughput_composite's largest case.
+  const std::vector<graph::RingSpec> specs = {{1, 2}, {2, 6}, {1, 3}};
+  auto design = benchutil::make_design(graph::make_loop_chain(specs));
+
+  const Config configs[] = {
+      {"no probe"},
+      {"counters", true, true, false, false},
+      {"counters+attribution", true, true, true, false},
+      {"counters+attribution+trace", true, true, true, true},
+  };
+
+  Json records = Json::array();
+  Table t({"config", "cycles", "seconds", "Mcycles/s", "vs baseline"});
+  double baseline = 0;
+  for (const auto& c : configs) {
+    auto sys = design.instantiate();
+    std::ofstream null_os("/dev/null");
+    probe::TraceSink sink(null_os);
+    probe::ProbeConfig cfg;
+    cfg.counters = c.counters;
+    cfg.attribution = c.attribution;
+    cfg.trace = c.trace ? &sink : nullptr;
+    probe::Probe probe(cfg);
+    if (c.attach) sys->attach_probe(probe);
+
+    const auto t0 = Clock::now();
+    sys->run(cycles);
+    probe.finish_trace();
+    const double s = seconds_since(t0);
+
+    const double mcps = static_cast<double>(cycles) / s / 1e6;
+    if (baseline == 0) baseline = s;
+    const double ratio = s / baseline;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+    t.add_row({c.name, std::to_string(cycles), std::to_string(s),
+               std::to_string(mcps), buf});
+    records.push(Json::object()
+                     .set("config", c.name)
+                     .set("cycles", cycles)
+                     .set("seconds", s)
+                     .set("mcycles_per_s", mcps)
+                     .set("overhead_vs_baseline", ratio));
+  }
+  t.print(std::cout);
+
+  benchutil::heading("trace sink write throughput");
+  {
+    std::ofstream null_os("/dev/null");
+    probe::TraceSink sink(null_os);
+    const std::uint64_t events = 2000000;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < events; ++i) {
+      sink.complete_event("fire", "shell", i, 1, 1, 1 + (i & 7));
+      if ((i & 15) == 0) {
+        sink.counter_event("occ", i, 1, {{"valid", i & 3}, {"stop", i & 1}});
+      }
+    }
+    sink.finish();
+    const double s = seconds_since(t0);
+    const double mb = static_cast<double>(sink.bytes_written()) / 1e6;
+    std::cout << events << " span events + " << events / 16
+              << " counter events: " << mb << " MB in " << s << " s = "
+              << mb / s << " MB/s\n";
+    records.push(Json::object()
+                     .set("config", "trace_write")
+                     .set("events", events)
+                     .set("bytes", sink.bytes_written())
+                     .set("seconds", s)
+                     .set("mb_per_s", mb / s));
+  }
+
+  benchutil::write_bench_json("probe", std::move(records));
+  return 0;
+}

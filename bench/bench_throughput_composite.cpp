@@ -42,6 +42,7 @@ int main() {
       {{1, 3}, {1, 3}, {1, 3}, {1, 3}},
   };
 
+  Json records = Json::array();
   Table t({"chain of loops", "min loop T (analytic)", "system T (measured)",
            "all shells at system T?", "transient", "period"});
   for (const auto& specs : cases) {
@@ -57,6 +58,13 @@ int main() {
     t.add_row({spec_str(specs), pred.cycle_bound.str(),
                ss.system_throughput().str(), uniform ? "yes" : "no",
                std::to_string(ss.transient), std::to_string(ss.period)});
+    records.push(Json::object()
+                     .set("chain", spec_str(specs))
+                     .set("analytic_min_loop_T", pred.cycle_bound)
+                     .set("measured_system_T", ss.system_throughput())
+                     .set("uniform", uniform)
+                     .set("transient", ss.transient)
+                     .set("period", ss.period));
   }
   t.print(std::cout);
 
@@ -98,5 +106,6 @@ int main() {
     }
   }
   t2.print(std::cout);
+  benchutil::write_bench_json("throughput_composite", std::move(records));
   return 0;
 }

@@ -10,15 +10,18 @@
 //   lidtool equalize  <file.lid>    insert spare stations, print new netlist
 //   lidtool flow      <file.lid>    full flow: screen, cure, sign off
 //   lidtool run       <file.lid> [n] full-data simulation (annotated file)
+//   lidtool profile   <file.lid>    probe-instrumented run: counters, stall
+//                                   attribution, optional Perfetto trace
 //   lidtool dot       <file.lid>    graphviz rendering
 //   lidtool campaign  ...           parallel mass-simulation campaigns
-//                                   (sweep / fuzz / t1; see --help)
+//                                   (sweep / fuzz / probe / t1; see --help)
 //
 // Run without arguments for a demo on the paper's Fig. 1 design.
 
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +37,8 @@
 #include "liplib/lint/lint.hpp"
 #include "liplib/lip/steady_state.hpp"
 #include "liplib/pearls/design_io.hpp"
+#include "liplib/probe/probe.hpp"
+#include "liplib/probe/trace.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/support/table.hpp"
 
@@ -63,6 +68,12 @@ structural commands (take a .lid netlist file):
 
 behavioural commands (annotated netlists):
   run       <file.lid> [cycles] full-data simulation + equivalence check
+  profile   <file.lid>          probe-instrumented full-data run: per-shell
+                                activity counters, measured throughput and
+                                stall attribution (see docs/probe.md)
+    --cycles N  cycles to simulate (default 10000)
+    --trace F   stream a Chrome trace-event / Perfetto JSON file to F
+    --json      render the probe report as canonical JSON
 
 campaign commands (parallel mass simulation; see docs/campaign.md):
   campaign sweep <file.lid>     steady-state sweep over station counts
@@ -70,6 +81,9 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
   campaign fuzz <N>             screen N random topologies
   campaign lint <N>             cross-check the linter against worst-case
                                 screening on N random topologies
+  campaign probe <N>            probe-vs-analytic agreement on N random
+                                topologies (measured throughput must equal
+                                the skeleton's exactly)
   campaign t1                   the EXPERIMENTS.md T1 fuzz pass
                                 (750 randomized runs) on the engine
   campaign options:
@@ -196,6 +210,10 @@ int cmd_simulate(const graph::Topology& topo) {
   }
   t.print(std::cout);
   std::cout << "system throughput: " << r.system_throughput().str() << "\n";
+  std::cout << "summary: simulate cycles=" << r.transient + r.period
+            << " (transient " << r.transient << " + period " << r.period
+            << ") seed=0 (skeleton runs are deterministic) T="
+            << r.system_throughput().str() << "\n";
   return 0;
 }
 
@@ -216,7 +234,14 @@ int cmd_screen(const graph::Topology& topo) {
   for (auto v : b.starved) {
     std::cout << "  starved shell: " << topo.node(v).name << "\n";
   }
-  return (a.deadlock_found || b.deadlock_found) ? 1 : 0;
+  const bool bad = a.deadlock_found || b.deadlock_found;
+  std::cout << "summary: screen cycles=" << a.cycles_simulated +
+                   b.cycles_simulated
+            << " (reset " << a.cycles_simulated << " + worst-case "
+            << b.cycles_simulated
+            << ") seed=0 (skeleton runs are deterministic) verdict="
+            << (bad ? "deadlock" : "live") << "\n";
+  return bad ? 1 : 0;
 }
 
 int cmd_cure(const graph::Topology& topo) {
@@ -269,6 +294,84 @@ int cmd_run(std::istream& in, std::uint64_t cycles) {
   std::cout << "latency equivalence vs ideal system: "
             << (equiv.ok ? "ok" : "BROKEN: " + equiv.detail) << "\n";
   return equiv.ok ? 0 : 1;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what);
+
+int cmd_profile(std::istream& in, const std::vector<std::string>& rest) {
+  std::uint64_t cycles = 10000;
+  std::string trace_path;
+  bool json = false;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--cycles") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--cycles requires a value");
+      cycles = parse_u64(rest[++i], "--cycles");
+    } else if (rest[i] == "--trace") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--trace requires a file name");
+      trace_path = rest[++i];
+    } else if (rest[i] == "--json") {
+      json = true;
+    } else {
+      std::cerr << "unknown profile option '" << rest[i] << "'\n\n" << kUsage;
+      return 2;
+    }
+  }
+  auto design = pearls::parse_design(in);
+  auto sys = design.instantiate();
+
+  std::ofstream trace_os;
+  std::unique_ptr<probe::TraceSink> sink;
+  if (!trace_path.empty()) {
+    trace_os.open(trace_path);
+    if (!trace_os) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 2;
+    }
+    sink = std::make_unique<probe::TraceSink>(trace_os);
+  }
+  probe::ProbeConfig cfg;
+  cfg.trace = sink.get();
+  probe::Probe probe(cfg);
+  sys->attach_probe(probe);
+  sys->run(cycles);
+  probe.finish_trace();
+
+  const auto report = probe.report();
+  if (json) {
+    std::cout << report.to_json().dump(2) << "\n";
+    return 0;
+  }
+  Table t({"shell", "fired", "waiting", "stopped", "measured T"});
+  for (const auto& s : report.shells) {
+    t.add_row({s.name, std::to_string(s.fired), std::to_string(s.waiting),
+               std::to_string(s.stopped), report.throughput(s.node).str()});
+  }
+  t.print(std::cout);
+  std::cout << "measured system throughput: " << report.min_throughput().str()
+            << " (includes the transient; see docs/probe.md)\n";
+  if (!report.blame.empty()) {
+    std::cout << "\nstall attribution (top 10):\n\n";
+    Table b({"victim", "state", "culprit", "cycles"});
+    const std::size_t show = std::min<std::size_t>(report.blame.size(), 10);
+    for (std::size_t i = 0; i < show; ++i) {
+      const auto& e = report.blame[i];
+      b.add_row({e.victim_name,
+                 e.why == probe::Activity::kWaitingInput ? "waiting"
+                                                        : "stopped",
+                 e.culprit_name, std::to_string(e.cycles)});
+    }
+    b.print(std::cout);
+    if (report.blame.size() > show) {
+      std::cout << "... and " << report.blame.size() - show << " more\n";
+    }
+  }
+  if (sink) {
+    std::cout << "\nwrote " << trace_path << " (" << sink->bytes_written()
+              << " bytes; open at ui.perfetto.dev)\n";
+  }
+  std::cout << "summary: profile cycles=" << cycles
+            << " seed=0 (full-data runs are deterministic)\n";
+  return 0;
 }
 
 int cmd_equalize(graph::Topology topo) {
@@ -392,9 +495,9 @@ int run_campaign_and_report(const std::vector<campaign::Job>& jobs,
   const auto agg = campaign::aggregate(results);
 
   std::cout << jobs.size() << " jobs on " << stats.threads
-            << " worker thread(s), " << stats.steals << " steals, "
-            << agg.total_cycles << " simulated cycles, "
-            << stats.wall_seconds << " s wall\n\n";
+            << " worker thread(s), base seed " << args.engine.base_seed
+            << ", " << stats.steals << " steals, " << agg.total_cycles
+            << " simulated cycles, " << stats.wall_seconds << " s wall\n\n";
 
   Table hist({"outcome", "jobs"});
   for (const auto& [o, n] : agg.outcomes) {
@@ -494,7 +597,7 @@ int cmd_campaign_fuzz(std::size_t n, CampaignArgs args) {
 
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "campaign requires a mode: sweep | fuzz | lint | t1\n"
+    std::cerr << "campaign requires a mode: sweep | fuzz | lint | probe | t1\n"
               << kUsage;
     return 2;
   }
@@ -532,6 +635,15 @@ int cmd_campaign(int argc, char** argv) {
         static_cast<std::size_t>(parse_u64(args.positional[0], "lint count"));
     return run_campaign_and_report(campaign::make_lint_crosscheck_campaign(n),
                                    args);
+  }
+  if (mode == "probe") {
+    if (args.positional.size() != 1) {
+      std::cerr << "campaign probe requires a job count\n";
+      return 2;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(parse_u64(args.positional[0], "probe count"));
+    return run_campaign_and_report(campaign::make_probe_campaign(n), args);
   }
   if (mode == "t1") {
     std::cout << "EXPERIMENTS.md T1 fuzz pass: 300 random reconvergences "
@@ -581,6 +693,7 @@ int main(int argc, char** argv) {
         }
         return cmd_run(in, cycles);
       }
+      if (cmd == "profile") return cmd_profile(in, rest);
       // Structural commands accept annotated files too.
       topo = graph::parse_netlist_annotated(in).topo;
     } else if (argc >= 2) {

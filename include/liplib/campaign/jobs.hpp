@@ -110,6 +110,23 @@ Job make_lint_crosscheck_job(std::string name, LintCrossCheckSpec spec = {});
 std::vector<Job> make_lint_crosscheck_campaign(std::size_t n,
                                                LintCrossCheckSpec spec = {});
 
+/// Full-data probe measurement of a fixed topology (liplib/probe): the
+/// skeleton is analyzed for the exact steady state, then a
+/// probe-instrumented lip::System re-runs with the counting window
+/// aligned to the periodic regime, and the measured per-shell
+/// throughputs must equal the analytic ones exactly — kMismatch on any
+/// disagreement.  On success `detail` carries the top entry of the
+/// stall-attribution histogram ("victim waiting <- culprit xN").
+Job make_probe_job(std::string name, graph::Topology topo,
+                   lip::StopPolicy policy =
+                       lip::StopPolicy::kCasuDiscardOnVoid);
+
+/// `n` probe jobs over random composite topologies (shape and stop
+/// policy drawn from each job's deterministic seed) — the mass
+/// probe-vs-analytic agreement campaign behind `lidtool campaign probe`.
+std::vector<Job> make_probe_campaign(std::size_t n,
+                                     std::size_t max_segments = 4);
+
 /// The EXPERIMENTS.md §T1 offline fuzz pass as a campaign: 300 random
 /// reconvergences with mixed half/full chains checked under both stop
 /// policies (600 jobs) plus 150 random composite topologies checked

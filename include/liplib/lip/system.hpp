@@ -34,6 +34,10 @@
 #include "liplib/lip/token.hpp"
 #include "liplib/support/check.hpp"
 
+namespace liplib::probe {
+class Probe;
+}  // namespace liplib::probe
+
 namespace liplib::lip {
 
 /// Index of a wire segment inside a System (one per hop of a channel).
@@ -187,6 +191,14 @@ class System {
   /// the System.
   void attach_vcd(std::ostream& os);
 
+  /// Attaches an observability probe (liplib/probe): per-cycle counters,
+  /// stall attribution and optional trace export.  Must be called before
+  /// the first step() on an unbound probe; `probe` must outlive the
+  /// System.  Requires the paper's simplified shell
+  /// (input_queue_depth == 0).  Without a probe the per-step cost is one
+  /// null-pointer test.
+  void attach_probe(probe::Probe& probe);
+
   /// Number of valid tokens consumed by a sink.
   std::uint64_t sink_count(graph::NodeId sink) const;
 
@@ -292,6 +304,7 @@ class System {
   const SinkState& sink_of(graph::NodeId id) const;
 
   void collect_stats_and_vcd();
+  void observe_probe();
 
   graph::Topology topo_;
   Options opts_;
@@ -300,6 +313,7 @@ class System {
   bool record_stats_ = false;
   std::uint64_t cycle_ = 0;
   std::unique_ptr<VcdTap> vcd_;
+  probe::Probe* probe_ = nullptr;
 
   std::vector<Seg> segs_;
   std::vector<Station> stations_;

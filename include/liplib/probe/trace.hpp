@@ -1,0 +1,86 @@
+// liplib/probe/trace.hpp
+//
+// Streaming Chrome trace-event JSON sink.
+//
+// Writes the "JSON Array Format" consumed by Perfetto (ui.perfetto.dev)
+// and chrome://tracing: a {"traceEvents":[...]} document of complete
+// events (ph "X"), counter events (ph "C") and metadata events (ph "M").
+// Events are appended to an internal buffer and flushed to the ostream
+// whenever the buffer passes a threshold, so million-cycle traces never
+// live in memory.  Field order and formatting are byte-stable (golden
+// tests lock them).
+//
+// One simulated clock cycle maps to one timestamp unit (Perfetto displays
+// it as a microsecond; only relative durations matter).
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace liplib::probe {
+
+struct TraceSinkOptions {
+  /// Flush the buffer to the stream once it holds this many bytes.
+  std::size_t flush_threshold = 64 * 1024;
+};
+
+/// Buffered writer of Chrome trace-event JSON.  The ostream must outlive
+/// the sink (or finish() must be called before the stream dies).
+class TraceSink {
+ public:
+  using Options = TraceSinkOptions;
+
+  explicit TraceSink(std::ostream& os, Options opt = {});
+
+  /// Finishes the document (see finish()).
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Metadata: names the process `pid` in the trace viewer.
+  void name_process(std::uint64_t pid, std::string_view name);
+
+  /// Metadata: names track `tid` of process `pid`.
+  void name_thread(std::uint64_t pid, std::uint64_t tid,
+                   std::string_view name);
+
+  /// A complete event (ph "X"): a span [ts, ts+dur) on track (pid, tid).
+  void complete_event(std::string_view name, std::string_view category,
+                      std::uint64_t ts, std::uint64_t dur, std::uint64_t pid,
+                      std::uint64_t tid);
+
+  /// A counter event (ph "C"): one sample of the named series at `ts`.
+  void counter_event(
+      std::string_view name, std::uint64_t ts, std::uint64_t pid,
+      std::initializer_list<std::pair<std::string_view, std::uint64_t>>
+          series);
+
+  /// Writes the closing bracket and flushes.  Idempotent; no events may
+  /// be added afterwards (they are dropped).
+  void finish();
+
+  bool finished() const { return finished_; }
+
+  /// Total bytes handed to the ostream plus bytes still buffered.
+  std::uint64_t bytes_written() const { return bytes_ + buf_.size(); }
+
+ private:
+  void begin_event();          // separator + bookkeeping
+  void maybe_flush();
+  void append_escaped(std::string_view s);
+
+  std::ostream& os_;
+  Options opt_;
+  std::string buf_;
+  std::uint64_t bytes_ = 0;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+}  // namespace liplib::probe

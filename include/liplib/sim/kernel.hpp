@@ -37,6 +37,22 @@ class SimContext;
 /// unit per clock phase).
 using Time = std::uint64_t;
 
+/// Observer of kernel activity.  A SimContext with no observer pays one
+/// null-pointer test per delta cycle; liplib/probe's KernelProbe hooks in
+/// here to count delta cycles, wakeups and signal changes (and optionally
+/// stream them into a trace) without the kernel knowing about it.
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+  /// One delta cycle executed at time `now`: `changes` signals changed
+  /// value, waking `wakeups` processes.
+  virtual void on_delta(Time now, std::size_t changes,
+                        std::size_t wakeups) = 0;
+  /// A discrete time point finished settling after `deltas` delta cycles
+  /// (only called when there was activity).
+  virtual void on_time_serviced(Time now, std::uint64_t deltas) = 0;
+};
+
 /// Type-erased base of all signals; owned by a SimContext.
 class SignalBase {
  public:
@@ -174,6 +190,10 @@ class SimContext {
   /// many delta cycles — catches combinational oscillation in models.
   void set_delta_limit(std::uint64_t limit) { delta_limit_ = limit; }
 
+  /// Attaches (or detaches, with nullptr) an activity observer.  The
+  /// observer must outlive the context or be detached before destruction.
+  void set_observer(KernelObserver* observer) { observer_ = observer; }
+
  private:
   friend class SignalBase;
   template <typename T>
@@ -190,6 +210,7 @@ class SimContext {
   std::vector<SignalBase*> pending_signals_;
   std::multimap<const SignalBase*, Process*> sensitivity_;
   std::multimap<const SignalBase*, std::function<void()>> change_hooks_;
+  KernelObserver* observer_ = nullptr;
   Time now_ = 0;
   std::uint64_t delta_stamp_ = 0;   // global, strictly increasing
   std::uint64_t service_stamp_ = 0; // stamp of delta being serviced

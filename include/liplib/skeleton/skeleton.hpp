@@ -21,6 +21,10 @@
 #include "liplib/lip/token.hpp"
 #include "liplib/support/rational.hpp"
 
+namespace liplib::probe {
+class Probe;
+}  // namespace liplib::probe
+
 namespace liplib::skeleton {
 
 /// Options mirroring lip::SystemOptions (control plane only).
@@ -98,6 +102,12 @@ class Skeleton {
   SkeletonResult analyze(std::uint64_t max_cycles = 1u << 20,
                          std::uint64_t env_period = 1);
 
+  /// Attaches an observability probe (liplib/probe).  Must be called
+  /// before the first step() on an unbound probe; `probe` must outlive
+  /// the Skeleton.  Requires the simplified shell
+  /// (input_queue_depth == 0).
+  void attach_probe(probe::Probe& probe);
+
  private:
   /// Fanout is capped at 32 branches per port (pend is a 32-bit mask);
   /// the constructor rejects wider fanout, mirroring lip::System.
@@ -139,9 +149,11 @@ class Skeleton {
   }
   bool shell_can_fire(const Shell& s) const;
   void settle_stops();
+  void observe_probe();
 
   graph::Topology topo_;
   SkeletonOptions opts_;
+  probe::Probe* probe_ = nullptr;
   std::uint64_t cycle_ = 0;
   std::vector<std::uint8_t> fwd_;   // per segment: presented validity
   std::vector<std::uint8_t> stop_;  // per segment: settled stop

@@ -10,6 +10,7 @@
 #include "liplib/lip/design.hpp"
 #include "liplib/lip/steady_state.hpp"
 #include "liplib/pearls/pearls.hpp"
+#include "liplib/probe/probe.hpp"
 #include "liplib/support/rng.hpp"
 
 namespace liplib::campaign {
@@ -295,7 +296,88 @@ JobResult fuzz_feedforward(const FuzzSpec& spec, Rng& rng,
   return r;
 }
 
+JobResult run_probe_measurement(const graph::Topology& topo,
+                                lip::StopPolicy policy,
+                                std::uint64_t budget) {
+  // Exact steady state from the (cheap) skeleton; System and Skeleton
+  // share one protocol trajectory from reset, so the skeleton's
+  // transient/period window the full-data probe run.
+  skeleton::SkeletonOptions sk_opts;
+  sk_opts.policy = policy;
+  skeleton::Skeleton sk(topo, sk_opts);
+  const auto res = sk.analyze(budget);
+  JobResult r = from_skeleton_result(res, sk.cycle());
+  if (r.outcome != Outcome::kLive && r.outcome != Outcome::kStarvation) {
+    return r;
+  }
+
+  auto design = make_default_design(topo);
+  lip::SystemOptions opts;
+  opts.policy = policy;
+  auto sys = design.instantiate(opts);
+  probe::Probe probe;
+  sys->attach_probe(probe);
+  sys->run(res.transient);
+  probe.reset_window();
+  sys->run(res.period);
+  r.cycles += sys->cycle();
+
+  const auto report = probe.report();
+  for (std::size_t i = 0; i < res.shell_ids.size(); ++i) {
+    const Rational measured = report.throughput(res.shell_ids[i]);
+    if (measured != res.shell_throughput[i]) {
+      r.outcome = Outcome::kMismatch;
+      std::ostringstream os;
+      os << "probe measured " << measured.str() << " for shell "
+         << res.shell_ids[i] << " vs analytic "
+         << res.shell_throughput[i].str() << " (policy="
+         << policy_name(policy) << ")";
+      r.detail = os.str();
+      return r;
+    }
+  }
+  if (const auto* top = report.top_blame()) {
+    std::ostringstream os;
+    os << top->victim_name
+       << (top->why == probe::Activity::kWaitingInput ? " waiting <- "
+                                                      : " stopped <- ")
+       << top->culprit_name << " x" << top->cycles;
+    r.detail = os.str();
+  }
+  return r;
+}
+
 }  // namespace
+
+Job make_probe_job(std::string name, graph::Topology topo,
+                   lip::StopPolicy policy) {
+  return Job{std::move(name),
+             [topo = std::move(topo), policy](const JobContext& ctx) {
+               return run_probe_measurement(topo, policy, ctx.cycle_budget);
+             }};
+}
+
+std::vector<Job> make_probe_campaign(std::size_t n,
+                                     std::size_t max_segments) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(Job{
+        "probe/" + std::to_string(i), [max_segments](const JobContext& ctx) {
+          Rng rng(ctx.seed);
+          const std::size_t segments =
+              1 + rng.below(std::max<std::size_t>(max_segments, 1));
+          const auto policy = rng.chance(1, 2)
+                                  ? lip::StopPolicy::kCarloniStrict
+                                  : lip::StopPolicy::kCasuDiscardOnVoid;
+          auto gen = graph::make_random_composite(
+              rng, segments, /*allow_half=*/true,
+              /*allow_half_in_loops=*/false);
+          return run_probe_measurement(gen.topo, policy, ctx.cycle_budget);
+        }});
+  }
+  return jobs;
+}
 
 Job make_fuzz_job(std::string name, FuzzSpec spec) {
   return Job{std::move(name), [spec](const JobContext& ctx) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "liplib/probe/probe.hpp"
 #include "liplib/support/vcd.hpp"
 
 namespace liplib::lip {
@@ -457,6 +458,101 @@ void System::attach_vcd(std::ostream& os) {
   vcd_->writer.begin_dump();
 }
 
+void System::attach_probe(probe::Probe& probe) {
+  LIPLIB_EXPECT(cycle_ == 0, "attach_probe after stepping");
+  LIPLIB_EXPECT(probe_ == nullptr, "attach_probe called twice");
+  LIPLIB_EXPECT(!probe.bound(), "probe is already bound to a simulator");
+  LIPLIB_EXPECT(opts_.input_queue_depth == 0,
+                "probe requires the paper's simplified shell "
+                "(input_queue_depth == 0)");
+
+  probe::Wiring w;
+  w.strict = strict();
+  w.segments.resize(segs_.size());
+  w.stations.resize(stations_.size());
+  for (graph::ChannelId c = 0; c < topo_.channels().size(); ++c) {
+    const auto& ch = topo_.channel(c);
+    const auto& ids = channel_segs_[c];
+    const std::size_t n_st = ch.num_stations();
+    for (std::size_t h = 0; h < ids.size(); ++h) {
+      probe::Wiring::Segment& seg = w.segments[ids[h]];
+      seg.channel = c;
+      seg.hop = h;
+      if (h == 0) {
+        const auto& from = topo_.node(ch.from.node);
+        seg.producer.kind = from.kind == graph::NodeKind::kProcess
+                                ? probe::UnitKind::kShell
+                                : probe::UnitKind::kSource;
+        seg.producer.index = node_index_[ch.from.node];
+      } else {
+        seg.producer.kind = probe::UnitKind::kStation;
+        seg.producer.index = channel_stations_[c][h - 1];
+      }
+      if (h < n_st) {
+        seg.consumer.kind = probe::UnitKind::kStation;
+        seg.consumer.index = channel_stations_[c][h];
+      } else {
+        const auto& to = topo_.node(ch.to.node);
+        seg.consumer.kind = to.kind == graph::NodeKind::kProcess
+                                ? probe::UnitKind::kShell
+                                : probe::UnitKind::kSink;
+        seg.consumer.index = node_index_[ch.to.node];
+      }
+    }
+    for (std::size_t k = 0; k < n_st; ++k) {
+      const std::size_t idx = channel_stations_[c][k];
+      probe::Wiring::Station& st = w.stations[idx];
+      st.channel = c;
+      st.index = k;
+      st.full = stations_[idx].kind == graph::RsKind::kFull;
+      st.in_seg = stations_[idx].in_seg;
+      st.out_seg = stations_[idx].out_seg;
+    }
+  }
+  for (const auto& s : shells_) {
+    probe::Wiring::Shell sh;
+    sh.node = s.node;
+    sh.in_segs = s.in_seg;
+    for (const auto& port : s.out) {
+      sh.out_segs.insert(sh.out_segs.end(), port.branch.begin(),
+                         port.branch.end());
+    }
+    w.shells.push_back(std::move(sh));
+  }
+  for (const auto& s : sources_) w.sources.push_back({s.node});
+  for (const auto& s : sinks_) w.sinks.push_back({s.node});
+
+  probe.bind(topo_, std::move(w));
+  probe_ = &probe;
+}
+
+void System::observe_probe() {
+  std::uint8_t* valid = probe_->valid_scratch();
+  std::uint8_t* stop = probe_->stop_scratch();
+  for (std::size_t i = 0; i < segs_.size(); ++i) {
+    valid[i] = segs_[i].fwd.valid ? 1 : 0;
+    stop[i] = segs_[i].stop ? 1 : 0;
+  }
+  probe::Activity* act = probe_->activity_scratch();
+  for (std::size_t k = 0; k < shells_.size(); ++k) {
+    const ShellState& s = shells_[k];
+    if (shell_can_fire(s)) {
+      act[k] = probe::Activity::kFired;
+    } else {
+      bool missing = false;
+      for (SegId in : s.in_seg) {
+        if (!segs_[in].fwd.valid) {
+          missing = true;
+          break;
+        }
+      }
+      act[k] = missing ? probe::Activity::kWaitingInput
+                       : probe::Activity::kStoppedOutput;
+    }
+  }
+  probe_->commit_cycle(cycle_);
+}
+
 void System::collect_stats_and_vcd() {
   if (record_stats_) {
     for (auto& seg : segs_) {
@@ -507,6 +603,7 @@ void System::step() {
   settle_stops();
   if (opts_.hold_monitor) check_hold_invariant();
   if (record_stats_ || vcd_) collect_stats_and_vcd();
+  if (probe_) observe_probe();
   clock_edge();
 }
 

@@ -1,0 +1,146 @@
+#include "liplib/probe/trace.hpp"
+
+#include <ostream>
+
+namespace liplib::probe {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) out.push_back(tmp[--n]);
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::ostream& os, Options opt) : os_(os), opt_(opt) {
+  buf_.reserve(opt_.flush_threshold + 1024);
+  buf_ += "{\"traceEvents\":[\n";
+}
+
+TraceSink::~TraceSink() { finish(); }
+
+void TraceSink::append_escaped(std::string_view s) {
+  buf_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': buf_ += "\\\""; break;
+      case '\\': buf_ += "\\\\"; break;
+      case '\n': buf_ += "\\n"; break;
+      case '\t': buf_ += "\\t"; break;
+      case '\r': buf_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          buf_ += "\\u00";
+          buf_.push_back(hex[(c >> 4) & 0xf]);
+          buf_.push_back(hex[c & 0xf]);
+        } else {
+          buf_.push_back(c);
+        }
+    }
+  }
+  buf_.push_back('"');
+}
+
+void TraceSink::begin_event() {
+  if (!first_) buf_ += ",\n";
+  first_ = false;
+}
+
+void TraceSink::maybe_flush() {
+  if (buf_.size() >= opt_.flush_threshold) {
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    bytes_ += buf_.size();
+    buf_.clear();
+  }
+}
+
+void TraceSink::name_process(std::uint64_t pid, std::string_view name) {
+  if (finished_) return;
+  begin_event();
+  buf_ += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  append_u64(buf_, pid);
+  buf_ += ",\"args\":{\"name\":";
+  append_escaped(name);
+  buf_ += "}}";
+  maybe_flush();
+}
+
+void TraceSink::name_thread(std::uint64_t pid, std::uint64_t tid,
+                            std::string_view name) {
+  if (finished_) return;
+  begin_event();
+  buf_ += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+  append_u64(buf_, pid);
+  buf_ += ",\"tid\":";
+  append_u64(buf_, tid);
+  buf_ += ",\"args\":{\"name\":";
+  append_escaped(name);
+  buf_ += "}}";
+  maybe_flush();
+}
+
+void TraceSink::complete_event(std::string_view name,
+                               std::string_view category, std::uint64_t ts,
+                               std::uint64_t dur, std::uint64_t pid,
+                               std::uint64_t tid) {
+  if (finished_) return;
+  begin_event();
+  buf_ += "{\"name\":";
+  append_escaped(name);
+  buf_ += ",\"cat\":";
+  append_escaped(category);
+  buf_ += ",\"ph\":\"X\",\"ts\":";
+  append_u64(buf_, ts);
+  buf_ += ",\"dur\":";
+  append_u64(buf_, dur);
+  buf_ += ",\"pid\":";
+  append_u64(buf_, pid);
+  buf_ += ",\"tid\":";
+  append_u64(buf_, tid);
+  buf_ += "}";
+  maybe_flush();
+}
+
+void TraceSink::counter_event(
+    std::string_view name, std::uint64_t ts, std::uint64_t pid,
+    std::initializer_list<std::pair<std::string_view, std::uint64_t>>
+        series) {
+  if (finished_) return;
+  begin_event();
+  buf_ += "{\"name\":";
+  append_escaped(name);
+  buf_ += ",\"ph\":\"C\",\"ts\":";
+  append_u64(buf_, ts);
+  buf_ += ",\"pid\":";
+  append_u64(buf_, pid);
+  buf_ += ",\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : series) {
+    if (!first) buf_.push_back(',');
+    first = false;
+    append_escaped(key);
+    buf_.push_back(':');
+    append_u64(buf_, value);
+  }
+  buf_ += "}}";
+  maybe_flush();
+}
+
+void TraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  buf_ += "\n]}\n";
+  os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  bytes_ += buf_.size();
+  buf_.clear();
+  os_.flush();
+}
+
+}  // namespace liplib::probe

@@ -89,7 +89,11 @@ void SimContext::service_current_time() {
       auto [lo, hi] = change_hooks_.equal_range(sig);
       for (auto it = lo; it != hi; ++it) it->second();
     }
+    if (observer_) observer_->on_delta(now_, changed.size(), wakeups.size());
     for (Process* p : wakeups) p->body_();
+  }
+  if (observer_ && deltas_here > 0) {
+    observer_->on_time_serviced(now_, deltas_here);
   }
 }
 

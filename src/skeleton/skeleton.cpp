@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "liplib/probe/probe.hpp"
 #include "liplib/support/check.hpp"
 
 namespace liplib::skeleton {
@@ -183,6 +184,110 @@ void Skeleton::settle_stops() {
   }
 }
 
+void Skeleton::attach_probe(probe::Probe& probe) {
+  LIPLIB_EXPECT(cycle_ == 0, "attach_probe after stepping");
+  LIPLIB_EXPECT(probe_ == nullptr, "attach_probe called twice");
+  LIPLIB_EXPECT(!probe.bound(), "probe is already bound to a simulator");
+  LIPLIB_EXPECT(opts_.input_queue_depth == 0,
+                "probe requires the paper's simplified shell "
+                "(input_queue_depth == 0)");
+
+  // Segments and stations were laid out sequentially, channel by channel
+  // (see the constructor); replay that layout to recover the mapping.
+  probe::Wiring w;
+  w.strict = strict();
+  w.segments.resize(fwd_.size());
+  w.stations.resize(stations_.size());
+  std::size_t seg = 0;
+  std::size_t station = 0;
+  for (graph::ChannelId c = 0; c < topo_.channels().size(); ++c) {
+    const auto& ch = topo_.channel(c);
+    const std::size_t n_st = ch.num_stations();
+    for (std::size_t h = 0; h <= n_st; ++h) {
+      probe::Wiring::Segment& s = w.segments[seg + h];
+      s.channel = c;
+      s.hop = h;
+      if (h == 0) {
+        const auto& from = topo_.node(ch.from.node);
+        s.producer.kind = from.kind == graph::NodeKind::kProcess
+                              ? probe::UnitKind::kShell
+                              : probe::UnitKind::kSource;
+        s.producer.index = node_index_[ch.from.node];
+      } else {
+        s.producer.kind = probe::UnitKind::kStation;
+        s.producer.index = station + h - 1;
+      }
+      if (h < n_st) {
+        s.consumer.kind = probe::UnitKind::kStation;
+        s.consumer.index = station + h;
+      } else {
+        const auto& to = topo_.node(ch.to.node);
+        s.consumer.kind = to.kind == graph::NodeKind::kProcess
+                              ? probe::UnitKind::kShell
+                              : probe::UnitKind::kSink;
+        s.consumer.index = node_index_[ch.to.node];
+      }
+    }
+    for (std::size_t k = 0; k < n_st; ++k) {
+      probe::Wiring::Station& st = w.stations[station + k];
+      st.channel = c;
+      st.index = k;
+      st.full = stations_[station + k].kind == graph::RsKind::kFull;
+      st.in_seg = stations_[station + k].in_seg;
+      st.out_seg = stations_[station + k].out_seg;
+    }
+    seg += n_st + 1;
+    station += n_st;
+  }
+  for (const auto& s : shells_) {
+    probe::Wiring::Shell sh;
+    sh.node = s.node;
+    sh.in_segs = s.in_seg;
+    for (const auto& port : s.out) {
+      sh.out_segs.insert(sh.out_segs.end(), port.branch.begin(),
+                         port.branch.end());
+    }
+    w.shells.push_back(std::move(sh));
+  }
+  for (graph::NodeId v = 0; v < topo_.nodes().size(); ++v) {
+    if (topo_.node(v).kind == graph::NodeKind::kSource) {
+      w.sources.push_back({v});
+    } else if (topo_.node(v).kind == graph::NodeKind::kSink) {
+      w.sinks.push_back({v});
+    }
+  }
+
+  probe.bind(topo_, std::move(w));
+  probe_ = &probe;
+}
+
+void Skeleton::observe_probe() {
+  std::uint8_t* valid = probe_->valid_scratch();
+  std::uint8_t* stop = probe_->stop_scratch();
+  for (std::size_t i = 0; i < fwd_.size(); ++i) {
+    valid[i] = fwd_[i];
+    stop[i] = stop_[i];
+  }
+  probe::Activity* act = probe_->activity_scratch();
+  for (std::size_t k = 0; k < shells_.size(); ++k) {
+    const Shell& s = shells_[k];
+    if (shell_can_fire(s)) {
+      act[k] = probe::Activity::kFired;
+    } else {
+      bool missing = false;
+      for (std::size_t in : s.in_seg) {
+        if (!fwd_[in]) {
+          missing = true;
+          break;
+        }
+      }
+      act[k] = missing ? probe::Activity::kWaitingInput
+                       : probe::Activity::kStoppedOutput;
+    }
+  }
+  probe_->commit_cycle(cycle_);
+}
+
 void Skeleton::saturate_stations() {
   for (auto& st : stations_) {
     if (st.occ == 0) st.occ = 1;
@@ -210,6 +315,8 @@ void Skeleton::step() {
 
   // Phase 2: stops.
   settle_stops();
+
+  if (probe_) observe_probe();
 
   // Phase 3: clock edge.
   for (auto& s : shells_) {

@@ -61,7 +61,20 @@ VcdDump VcdDump::parse(std::istream& in) {
       while (in >> skip && skip != "$end") {
       }
     } else if (tok[0] == '#') {
-      now = std::stoull(tok.substr(1));
+      std::uint64_t next = 0;
+      try {
+        std::size_t used = 0;
+        next = std::stoull(tok.substr(1), &used);
+        LIPLIB_EXPECT(used == tok.size() - 1, "trailing garbage");
+      } catch (const ApiError&) {
+        throw ApiError("malformed VCD timestamp '" + tok + "'");
+      } catch (const std::exception&) {
+        throw ApiError("malformed VCD timestamp '" + tok + "'");
+      }
+      LIPLIB_EXPECT(next >= now, "VCD timestamp #" + std::to_string(next) +
+                                     " goes backwards (after #" +
+                                     std::to_string(now) + ")");
+      now = next;
       dump.end_time_ = std::max(dump.end_time_, now);
     } else if (tok[0] == 'b' || tok[0] == 'B') {
       std::string code;

@@ -56,6 +56,45 @@ TEST(VcdReader, RejectsGarbage) {
   EXPECT_THROW(dump.changes("top.missing"), ApiError);
 }
 
+TEST(VcdReader, RejectsTruncatedHeader) {
+  // Header sections cut off mid-definition must fail loudly, not parse
+  // as an empty dump.
+  EXPECT_THROW(VcdDump::parse_string("$scope module top"), ApiError);
+  EXPECT_THROW(VcdDump::parse_string("$scope module top $end\n$var wire 1 !"),
+               ApiError);
+  EXPECT_THROW(
+      VcdDump::parse_string("$var wire 1 ! a $wrong\n$enddefinitions $end"),
+      ApiError);
+}
+
+TEST(VcdReader, RejectsUnknownIdentifierCode) {
+  const char* header =
+      "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n";
+  // Scalar and vector changes referencing an undeclared identifier code.
+  EXPECT_THROW(VcdDump::parse_string(std::string(header) + "1?"), ApiError);
+  EXPECT_THROW(VcdDump::parse_string(std::string(header) + "b101 ?"),
+               ApiError);
+  // The declared code still works.
+  const auto dump = VcdDump::parse_string(std::string(header) + "1!");
+  EXPECT_EQ(dump.value_at("a", 0), 1u);
+}
+
+TEST(VcdReader, RejectsMalformedAndOutOfOrderTimestamps) {
+  const char* header = "$var wire 1 ! a $end\n$enddefinitions $end\n";
+  EXPECT_THROW(VcdDump::parse_string(std::string(header) + "#garbage\n1!"),
+               ApiError);
+  EXPECT_THROW(VcdDump::parse_string(std::string(header) + "#12xyz\n1!"),
+               ApiError);
+  // Timestamps must be monotonically non-decreasing.
+  EXPECT_THROW(
+      VcdDump::parse_string(std::string(header) + "#5\n1!\n#3\n0!"),
+      ApiError);
+  // Equal timestamps are fine (repeated sections happen in real dumps).
+  const auto dump =
+      VcdDump::parse_string(std::string(header) + "#5\n1!\n#5\n0!");
+  EXPECT_EQ(dump.value_at("a", 5), 0u);
+}
+
 TEST(VcdReader, HoldOnStopHoldsOnDumpedWaveforms) {
   // Dump a jittery Fig. 1 run from the cycle-accurate simulator (one
   // timestamp per cycle), then re-check on the waves: whenever a hop
