@@ -15,6 +15,9 @@
 //   lidtool dot       <file.lid>    graphviz rendering
 //   lidtool campaign  ...           parallel mass-simulation campaigns
 //                                   (sweep / fuzz / probe / t1; see --help)
+//   lidtool replay    <bundle.json> re-run a watchdog post-mortem bundle and
+//                                   check the deadlock reproduces
+//   lidtool bench diff <old> <new>  perf regression gate over BENCH_*.json
 //
 // Run without arguments for a demo on the paper's Fig. 1 design.
 
@@ -41,6 +44,8 @@
 #include "liplib/probe/trace.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/support/table.hpp"
+#include "liplib/telemetry/bench_diff.hpp"
+#include "liplib/telemetry/watchdog.hpp"
 
 using namespace liplib;
 
@@ -59,7 +64,14 @@ structural commands (take a .lid netlist file):
                 to -o FILE (or stdout) and the report to stderr
     -o FILE     output file for the cured netlist
   analyze   <file.lid>          analytic throughput (formulas + MCR)
-  simulate  <file.lid>          skeleton simulation to steady state
+  simulate  <file.lid>          skeleton simulation to steady state, guarded
+                                by the telemetry watchdog: a deadlocked or
+                                livelocked design is reported as DEADLOCK
+                                (exit 1) instead of draining the budget
+    --worst-case       start from worst-case occupancy (saturated stations)
+    --budget N         watchdog-guarded cycle budget (default 2^18)
+    --postmortem FILE  on trip, write the post-mortem bundle (replayable
+                       with `lidtool replay`) to FILE
   screen    <file.lid>          deadlock screening (reset + worst case)
   cure      <file.lid>          substitute stations until deadlock free
   equalize  <file.lid>          insert spare stations, print new netlist
@@ -67,7 +79,9 @@ structural commands (take a .lid netlist file):
   dot       <file.lid>          graphviz rendering
 
 behavioural commands (annotated netlists):
-  run       <file.lid> [cycles] full-data simulation + equivalence check
+  run       <file.lid> [cycles] full-data simulation + equivalence check,
+                                watchdog-guarded (deadlock -> exit 1)
+    --postmortem FILE  on watchdog trip, write the bundle to FILE
   profile   <file.lid>          probe-instrumented full-data run: per-shell
                                 activity counters, measured throughput and
                                 stall attribution (see docs/probe.md)
@@ -96,6 +110,17 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
     --shape composite|reconvergent|feedforward   fuzz topology shape
     --json PATH   write the aggregated report as JSON
     --csv PATH    write per-job results as CSV
+
+telemetry commands (see docs/telemetry.md):
+  replay    <bundle.json>       reconstruct the design from a watchdog
+                                post-mortem bundle, re-run it and check the
+                                deadlock reproduces at the identical cycle;
+                                exit 0 reproduced / 1 not reproduced
+  bench diff <old.json> <new.json>  compare two BENCH_*.json artifacts with
+                                a noise-aware threshold; exit 0 clean /
+                                1 regression / 2 bad input
+    --threshold PCT    regression threshold in percent (default 10)
+    --json             render the comparison as canonical JSON
 
 other:
   --help, -h, help              this text
@@ -195,8 +220,80 @@ int cmd_analyze(const graph::Topology& topo) {
   return 0;
 }
 
-int cmd_simulate(const graph::Topology& topo) {
+std::uint64_t parse_u64(const std::string& text, const std::string& what);
+
+/// Writes a post-mortem bundle; reports what happened on stdout.
+bool write_postmortem(const telemetry::Watchdog& dog,
+                      const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  os << dog.post_mortem().to_json().dump(2) << "\n";
+  std::cout << "wrote post-mortem bundle " << path
+            << " (replay with `lidtool replay " << path << "`)\n";
+  return true;
+}
+
+/// Prints the watchdog verdict after a trip.
+void print_trip(const telemetry::Watchdog& dog) {
+  std::cout << "DEADLOCK: watchdog tripped ("
+            << telemetry::trip_reason_str(dog.reason())
+            << "), no progress since cycle " << dog.no_progress_since()
+            << ", tripped at cycle " << dog.trip_cycle() << "\n";
+  const auto report = dog.probe().report();
+  if (const auto* top = report.top_blame()) {
+    std::cout << "top blame: " << top->victim_name
+              << (top->why == probe::Activity::kWaitingInput ? " waiting <- "
+                                                             : " stopped <- ")
+              << top->culprit_name << " x" << top->cycles << "\n";
+  }
+}
+
+int cmd_simulate(const graph::Topology& topo,
+                 const std::vector<std::string>& rest) {
+  bool worst_case = false;
+  std::uint64_t budget = 1u << 18;
+  std::string pm_path;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--worst-case") {
+      worst_case = true;
+    } else if (rest[i] == "--budget") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--budget requires a value");
+      budget = parse_u64(rest[++i], "--budget");
+    } else if (rest[i] == "--postmortem") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--postmortem requires a file name");
+      pm_path = rest[++i];
+    } else {
+      std::cerr << "unknown simulate option '" << rest[i] << "'\n\n" << kUsage;
+      return 2;
+    }
+  }
+
+  // Watchdog-guarded pass first: a deadlocked/livelocked design is
+  // reported (with evidence) instead of silently draining the analyze
+  // budget.  Skeleton steps are cheap enough to pay twice.
+  {
+    skeleton::Skeleton guard(topo);
+    if (worst_case) guard.saturate_stations();
+    telemetry::WatchdogOptions wopts;
+    wopts.worst_case_occupancy = worst_case;
+    telemetry::Watchdog dog(wopts);
+    dog.attach(guard);
+    const auto guarded = telemetry::run_guarded(guard, dog, budget);
+    if (dog.tripped()) {
+      print_trip(dog);
+      if (!pm_path.empty() && !write_postmortem(dog, pm_path)) return 2;
+      std::cout << "summary: simulate cycles=" << guarded.cycles
+                << " seed=0 (skeleton runs are deterministic) "
+                   "verdict=deadlock\n";
+      return 1;
+    }
+  }
+
   skeleton::Skeleton sk(topo);
+  if (worst_case) sk.saturate_stations();
   const auto r = sk.analyze();
   if (!r.found) {
     std::cout << "no steady state within budget\n";
@@ -265,10 +362,23 @@ int cmd_flow(const graph::Topology& topo) {
   return result.ok ? 0 : 1;
 }
 
-int cmd_run(std::istream& in, std::uint64_t cycles) {
+int cmd_run(std::istream& in, std::uint64_t cycles,
+            const std::string& pm_path) {
   auto design = pearls::parse_design(in);
   auto sys = design.instantiate();
-  sys->run(cycles);
+  // Guard the full-data run: a design that deadlocks (half stations on a
+  // loop under unlucky occupancy) is reported instead of burning the
+  // cycle budget in silence.
+  telemetry::Watchdog dog;
+  dog.attach(*sys);
+  const auto guarded = telemetry::run_guarded(*sys, dog, cycles);
+  if (dog.tripped()) {
+    print_trip(dog);
+    if (!pm_path.empty() && !write_postmortem(dog, pm_path)) return 2;
+    std::cout << "summary: run cycles=" << guarded.cycles
+              << " verdict=deadlock\n";
+    return 1;
+  }
   const auto& topo = design.topology();
   for (graph::NodeId v = 0; v < topo.nodes().size(); ++v) {
     if (topo.node(v).kind != graph::NodeKind::kSink) continue;
@@ -372,6 +482,79 @@ int cmd_profile(std::istream& in, const std::vector<std::string>& rest) {
   std::cout << "summary: profile cycles=" << cycles
             << " seed=0 (full-data runs are deterministic)\n";
   return 0;
+}
+
+int cmd_replay(std::istream& in) {
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto pm = telemetry::PostMortem::from_json(Json::parse(ss.str()));
+  std::cout << "bundle: " << telemetry::trip_reason_str(pm.reason)
+            << " at cycle " << pm.trip_cycle << ", no progress since cycle "
+            << pm.no_progress_since << ", seed " << pm.seed << " ("
+            << (pm.strict ? "strict" : "variant") << " policy, "
+            << (pm.worst_case_occupancy ? "worst-case occupancy" : "from reset")
+            << ")\n";
+  const auto r = telemetry::replay(pm);
+  if (!r.tripped) {
+    std::cout << "replay: watchdog did NOT trip — failure not reproduced\n";
+    return 1;
+  }
+  std::cout << "replay: " << telemetry::trip_reason_str(r.reason)
+            << " at cycle " << r.trip_cycle << ", no progress since cycle "
+            << r.no_progress_since << "\n"
+            << "verdict: "
+            << (r.reproduced ? "reproduced (identical deadlock cycle)"
+                             : "TRIPPED DIFFERENTLY (bundle and replay "
+                               "disagree)")
+            << "\n";
+  return r.reproduced ? 0 : 1;
+}
+
+int cmd_bench(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "diff") {
+    std::cerr << "bench requires the 'diff' mode: lidtool bench diff "
+                 "<old.json> <new.json>\n\n"
+              << kUsage;
+    return 2;
+  }
+  telemetry::BenchDiffOptions opts;
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threshold") {
+      LIPLIB_EXPECT(i + 1 < argc, "--threshold requires a value");
+      const std::string v = argv[++i];
+      try {
+        std::size_t used = 0;
+        opts.threshold_pct = std::stod(v, &used);
+        LIPLIB_EXPECT(used == v.size() && opts.threshold_pct >= 0,
+                      "--threshold expects a non-negative percentage");
+      } catch (const ApiError&) {
+        throw;
+      } catch (const std::exception&) {
+        throw ApiError("--threshold expects a number, got '" + v + "'");
+      }
+    } else if (a == "--json") {
+      json = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown bench diff option '" << a << "'\n\n" << kUsage;
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    std::cerr << "bench diff requires exactly two BENCH_*.json files\n";
+    return 2;
+  }
+  const auto diff = telemetry::bench_diff_files(files[0], files[1], opts);
+  if (json) {
+    std::cout << diff.to_json().dump(2) << "\n";
+  } else {
+    std::cout << diff.to_text();
+  }
+  return diff.exit_code();
 }
 
 int cmd_equalize(graph::Topology topo) {
@@ -664,6 +847,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "campaign") return cmd_campaign(argc, argv);
+    if (cmd == "bench") return cmd_bench(argc, argv);
 
     graph::Topology topo;
     // Arguments after the netlist file; every command must consume all
@@ -684,16 +868,35 @@ int main(int argc, char** argv) {
         return 2;
       }
       if (cmd == "run") {
-        const std::uint64_t cycles =
-            rest.empty() ? 1000 : parse_u64(rest.front(), "run cycle count");
-        if (rest.size() > 1) {
-          std::cerr << "unknown argument '" << rest[1] << "' for 'run'\n\n"
+        std::uint64_t cycles = 1000;
+        std::string pm_path;
+        bool have_cycles = false;
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+          if (rest[i] == "--postmortem") {
+            LIPLIB_EXPECT(i + 1 < rest.size(),
+                          "--postmortem requires a file name");
+            pm_path = rest[++i];
+          } else if (!have_cycles && !rest[i].empty() && rest[i][0] != '-') {
+            cycles = parse_u64(rest[i], "run cycle count");
+            have_cycles = true;
+          } else {
+            std::cerr << "unknown argument '" << rest[i] << "' for 'run'\n\n"
+                      << kUsage;
+            return 2;
+          }
+        }
+        return cmd_run(in, cycles, pm_path);
+      }
+      if (cmd == "profile") return cmd_profile(in, rest);
+      if (cmd == "replay") {
+        if (!rest.empty()) {
+          std::cerr << "unknown argument '" << rest.front()
+                    << "' for 'replay'\n\n"
                     << kUsage;
           return 2;
         }
-        return cmd_run(in, cycles);
+        return cmd_replay(in);
       }
-      if (cmd == "profile") return cmd_profile(in, rest);
       // Structural commands accept annotated files too.
       topo = graph::parse_netlist_annotated(in).topo;
     } else if (argc >= 2) {
@@ -713,7 +916,7 @@ int main(int argc, char** argv) {
       std::cout << "--- analyze ---\n";
       cmd_analyze(topo);
       std::cout << "--- simulate ---\n";
-      cmd_simulate(topo);
+      cmd_simulate(topo, {});
       std::cout << "--- screen ---\n";
       cmd_screen(topo);
       std::cout << "--- equalize ---\n";
@@ -748,8 +951,7 @@ int main(int argc, char** argv) {
       return cmd_analyze(topo);
     }
     if (cmd == "simulate") {
-      if (reject_extras("simulate")) return 2;
-      return cmd_simulate(topo);
+      return cmd_simulate(topo, rest);
     }
     if (cmd == "screen") {
       if (reject_extras("screen")) return 2;

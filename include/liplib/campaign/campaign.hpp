@@ -76,6 +76,11 @@ struct JobResult {
   std::uint64_t transient = 0;
   std::uint64_t period = 0;
   std::string detail;           ///< human-readable failure context
+  /// Stall blame folded by culprit name (probe-instrumented jobs only):
+  /// cycles each culprit cost some victim over the measurement window,
+  /// sorted by cycles descending then name.  Feeds the fleet-level
+  /// blame-by-culprit distribution (report.hpp).
+  std::vector<std::pair<std::string, std::uint64_t>> blame;
 };
 
 /// A campaign job: a name (for reports) plus the function to run.  The

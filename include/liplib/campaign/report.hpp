@@ -10,15 +10,37 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "liplib/campaign/campaign.hpp"
 #include "liplib/support/json.hpp"
+#include "liplib/support/metrics.hpp"
 #include "liplib/support/rational.hpp"
 
 namespace liplib::campaign {
+
+/// Fleet-level distributions folded from every job of a campaign — the
+/// cross-run deliverable (a single probe window is a sample; the fleet
+/// percentiles are the measurement).  All values are computed from the
+/// job-index-ordered result vector, so they are byte-identical at any
+/// worker-thread count.
+struct FleetMetrics {
+  /// Exact nearest-rank percentiles over the sorted multiset of per-job
+  /// system throughputs, as ("p0", value) ... ("p100", value) in
+  /// ascending-percentile order.  Empty when no job reported one.
+  std::vector<std::pair<std::string, Rational>> throughput_percentiles;
+  /// Log2-bucketed distributions over jobs that reported a steady state.
+  metrics::LogHistogram transient;
+  metrics::LogHistogram period;
+  /// Simulation cycles spent, over every job.
+  metrics::LogHistogram cycles;
+  /// Stalled cycles per culprit, summed across every job's blame rows,
+  /// sorted by cycles descending then culprit name.
+  std::vector<std::pair<std::string, std::uint64_t>> blame_by_culprit;
+};
 
 /// Aggregated view of a finished campaign.
 struct Aggregate {
@@ -37,10 +59,16 @@ struct Aggregate {
   /// seed (the campaign's failure record).
   std::vector<JobResult> failures;
 
+  /// Fleet-level percentile/histogram view of the same results.
+  FleetMetrics fleet;
+
   std::size_t count(Outcome o) const;
   bool all_live() const { return failures.empty(); }
-  Rational min_throughput() const;  ///< 0 when no job reported one
-  Rational max_throughput() const;  ///< 0 when no job reported one
+  /// Extremes of the throughput distribution; nullopt when no job
+  /// reported a throughput (distinguishable from a real zero-throughput
+  /// deadlock, which reports Rational(0)).
+  std::optional<Rational> min_throughput() const;
+  std::optional<Rational> max_throughput() const;
 };
 
 /// Folds a result vector (as returned by Engine::run, job-index order)
@@ -53,7 +81,12 @@ Json to_json(const Aggregate& agg);
 
 /// Per-job CSV: header row plus one line per result, in job-index order.
 /// Columns: index,name,seed,outcome,cycles,throughput,transient,period,
-/// detail (detail quoted).
+/// detail,top_blame (detail and top_blame quoted; top_blame is the
+/// job's blame rows as "culprit:cycles" joined with ';').
 std::string to_csv(const std::vector<JobResult>& results);
+
+/// Fleet-metric CSV: header "metric,value" plus one row per percentile,
+/// histogram statistic and blame culprit, in schema order.
+std::string fleet_to_csv(const Aggregate& agg);
 
 }  // namespace liplib::campaign

@@ -63,6 +63,24 @@ struct Unit {
   friend bool operator==(const Unit&, const Unit&) = default;
 };
 
+class Probe;
+
+/// Receives every committed cycle of an attached probe.  This is the
+/// extension point the telemetry layer (watchdog + flight recorder)
+/// rides on: one host attach_probe() call feeds both the probe's own
+/// counters and any observer, with no duplicate wiring.
+class CycleObserver {
+ public:
+  virtual ~CycleObserver() = default;
+  /// Called once from Probe::bind(), after all probe state is sized.
+  virtual void on_bind(const Probe& probe) = 0;
+  /// Called at the end of every commit_cycle() with the settled segment
+  /// valid/stop bits and per-shell activity (wiring order).  Counter and
+  /// blame state for `cycle` is already folded in when this runs.
+  virtual void on_cycle(std::uint64_t cycle, const std::uint8_t* valid,
+                        const std::uint8_t* stop, const Activity* activity) = 0;
+};
+
 /// What to measure.  Disabling a piece removes its per-cycle cost.
 struct ProbeConfig {
   bool counters = true;
@@ -70,6 +88,8 @@ struct ProbeConfig {
   /// Optional trace sink (not owned; must outlive the probe or be
   /// finished first).
   TraceSink* trace = nullptr;
+  /// Optional per-cycle observer (not owned; must outlive the probe).
+  CycleObserver* observer = nullptr;
 };
 
 /// Per-shell activity counters over the current window.
@@ -176,6 +196,11 @@ class Probe {
 
   const ProbeConfig& config() const { return cfg_; }
   bool bound() const { return bound_; }
+
+  /// The instrumented structure (valid after bind()).  Observers use
+  /// these to interpret the flat scratch arrays they are handed.
+  const Wiring& wiring() const { return wiring_; }
+  const graph::Topology& topology() const { return topo_; }
 
   // ---- host-simulator interface ----------------------------------------
 

@@ -7,9 +7,16 @@
 // what the campaign aggregation layer and the machine-readable bench
 // outputs rely on — no locale, no float formatting drift, no hash-map
 // ordering.
+//
+// Json::parse is the reader half: a strict recursive-descent parser for
+// the same dialect (UTF-8 text, \uXXXX escapes, int/uint/double split on
+// the number grammar), so the BENCH_*.json perf artifacts and telemetry
+// post-mortem bundles the repo writes can be consumed back (lidtool
+// `bench diff`, `replay`).  parse(dump(x)) reconstructs x.
 
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -68,6 +75,78 @@ class Json {
 
   bool empty() const { return members_.empty() && elements_.empty(); }
 
+  // ---- inspection (for parsed documents) --------------------------------
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUInt ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const {
+    LIPLIB_EXPECT(kind_ == Kind::kBool, "Json::as_bool on a non-bool");
+    return bool_;
+  }
+  /// Any numeric kind, widened to double (ints above 2^53 lose precision,
+  /// as in any JSON consumer).
+  double as_double() const {
+    switch (kind_) {
+      case Kind::kInt: return static_cast<double>(int_);
+      case Kind::kUInt: return static_cast<double>(uint_);
+      case Kind::kDouble: return double_;
+      default: break;
+    }
+    throw ApiError("Json::as_double on a non-number");
+  }
+  std::uint64_t as_uint() const {
+    if (kind_ == Kind::kUInt) return uint_;
+    if (kind_ == Kind::kInt && int_ >= 0) {
+      return static_cast<std::uint64_t>(int_);
+    }
+    throw ApiError("Json::as_uint on a non-(unsigned-)integer");
+  }
+  std::int64_t as_int() const {
+    if (kind_ == Kind::kInt) return int_;
+    if (kind_ == Kind::kUInt && uint_ <= 0x7fffffffffffffffull) {
+      return static_cast<std::int64_t>(uint_);
+    }
+    throw ApiError("Json::as_int on a non-integer");
+  }
+  const std::string& as_string() const {
+    LIPLIB_EXPECT(kind_ == Kind::kString, "Json::as_string on a non-string");
+    return str_;
+  }
+
+  /// Array length / object member count.
+  std::size_t size() const {
+    return kind_ == Kind::kArray ? elements_.size() : members_.size();
+  }
+  /// Array element access.
+  const Json& at(std::size_t i) const {
+    LIPLIB_EXPECT(kind_ == Kind::kArray && i < elements_.size(),
+                  "Json::at out of range or on a non-array");
+    return elements_[i];
+  }
+  /// Object member lookup (first match, insertion order); nullptr when
+  /// the key is absent or the value is not an object.
+  const Json* find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  /// Insertion-ordered members of an object (empty for other kinds).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  /// Elements of an array (empty for other kinds).
+  const std::vector<Json>& elements() const { return elements_; }
+
   /// Serializes the value.  indent = 0: compact one-line form; indent > 0:
   /// pretty-printed with that many spaces per level.
   std::string dump(int indent = 0) const {
@@ -76,9 +155,210 @@ class Json {
     return os.str();
   }
 
+  /// Parses a JSON document.  Strict: one value, nothing but whitespace
+  /// after it; throws ApiError with a byte offset on malformed input.
+  static Json parse(std::string_view text) {
+    Parser p{text, 0};
+    Json v = p.value();
+    p.skip_ws();
+    if (p.pos != text.size()) p.fail("trailing characters after the value");
+    return v;
+  }
+
  private:
   enum class Kind { kNull, kBool, kInt, kUInt, kDouble, kString, kArray,
                     kObject };
+
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+
+    [[noreturn]] void fail(const std::string& what) const {
+      throw ApiError("JSON parse error at byte " + std::to_string(pos) +
+                     ": " + what);
+    }
+    void skip_ws() {
+      while (pos < text.size() &&
+             (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+              text[pos] == '\r')) {
+        ++pos;
+      }
+    }
+    char peek() {
+      if (pos >= text.size()) fail("unexpected end of input");
+      return text[pos];
+    }
+    void expect(char c) {
+      if (peek() != c) fail(std::string("expected '") + c + "'");
+      ++pos;
+    }
+    bool consume_word(std::string_view w) {
+      if (text.substr(pos, w.size()) != w) return false;
+      pos += w.size();
+      return true;
+    }
+
+    Json value() {
+      skip_ws();
+      switch (peek()) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return Json(string());
+        case 't':
+          if (consume_word("true")) return Json(true);
+          fail("bad literal");
+        case 'f':
+          if (consume_word("false")) return Json(false);
+          fail("bad literal");
+        case 'n':
+          if (consume_word("null")) return Json();
+          fail("bad literal");
+        default: return number();
+      }
+    }
+
+    Json object() {
+      expect('{');
+      Json o = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return o;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = string();
+        skip_ws();
+        expect(':');
+        o.set(std::move(key), value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return o;
+      }
+    }
+
+    Json array() {
+      expect('[');
+      Json a = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return a;
+      }
+      for (;;) {
+        a.push(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return a;
+      }
+    }
+
+    std::string string() {
+      expect('"');
+      std::string out;
+      for (;;) {
+        const char c = peek();
+        ++pos;
+        if (c == '"') return out;
+        if (c != '\\') {
+          out.push_back(c);
+          continue;
+        }
+        const char e = peek();
+        ++pos;
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = peek();
+              ++pos;
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // UTF-8 encode the code point (surrogate pairs are passed
+            // through as-is; the writer never emits them).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      }
+    }
+
+    Json number() {
+      const std::size_t start = pos;
+      if (pos < text.size() && text[pos] == '-') ++pos;
+      bool integral = true;
+      while (pos < text.size()) {
+        const char c = text[pos];
+        if (c >= '0' && c <= '9') {
+          ++pos;
+        } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                   c == '-') {
+          integral = false;
+          ++pos;
+        } else {
+          break;
+        }
+      }
+      const std::string_view tok = text.substr(start, pos - start);
+      if (tok.empty() || tok == "-") fail("bad number");
+      const char* first = tok.data();
+      const char* last = tok.data() + tok.size();
+      if (integral) {
+        if (tok[0] == '-') {
+          std::int64_t v = 0;
+          const auto [p, ec] = std::from_chars(first, last, v);
+          if (ec == std::errc() && p == last) return Json(v);
+        } else {
+          std::uint64_t v = 0;
+          const auto [p, ec] = std::from_chars(first, last, v);
+          if (ec == std::errc() && p == last) {
+            if (v <= 0x7fffffffffffffffull) {
+              // Small magnitudes normalize to the signed kind so that
+              // parse(dump(Json(int))) round-trips through set()/push()
+              // chains uniformly; as_uint accepts both.
+              return Json(static_cast<std::int64_t>(v));
+            }
+            return Json(v);
+          }
+        }
+        // Out-of-range integer literal: fall through to double.
+      }
+      double d = 0;
+      const auto [p, ec] = std::from_chars(first, last, d);
+      if (ec != std::errc() || p != last) fail("bad number");
+      return Json(d);
+    }
+  };
 
   static void write_escaped(std::ostringstream& os, const std::string& s) {
     os << '"';

@@ -1,0 +1,157 @@
+// liplib/support/metrics.hpp
+//
+// Deterministic metric primitives for fleet-level telemetry: a counter, a
+// gauge, and a log2-bucketed histogram of unsigned samples.  Everything
+// here is integer-exact and serializes byte-stably through support/json,
+// so campaign aggregates that fold thousands of per-job measurements stay
+// byte-identical at any worker-thread count (the values are folded from
+// the job-index-ordered result vector, never from shared mutable state).
+//
+// The histogram buckets are powers of two: bucket 0 holds the sample 0,
+// bucket b >= 1 holds samples in [2^(b-1), 2^b).  Percentiles are
+// nearest-rank over the bucket counts and report the bucket's inclusive
+// upper bound — a deterministic over-approximation whose error is bounded
+// by the bucket width (exact tracked min/max are reported alongside).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "liplib/support/check.hpp"
+#include "liplib/support/json.hpp"
+
+namespace liplib::metrics {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Log2-bucketed histogram of std::uint64_t samples.
+class LogHistogram {
+ public:
+  /// 0 plus one bucket per bit: samples up to 2^63-1... fit bucket 64.
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    total_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+  }
+
+  void merge(const LogHistogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    total_ += other.total_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  std::uint64_t bucket(std::size_t b) const { return buckets_[b]; }
+
+  /// Which bucket a sample lands in.
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b;  // 0 for v == 0, floor(log2(v)) + 1 otherwise
+  }
+  /// Inclusive upper bound of a bucket (the value a percentile reports).
+  static std::uint64_t bucket_hi(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~0ull;
+    return (1ull << b) - 1;
+  }
+  /// Inclusive lower bound of a bucket.
+  static std::uint64_t bucket_lo(std::size_t b) {
+    return b <= 1 ? b : (1ull << (b - 1));
+  }
+
+  /// Nearest-rank percentile (p in [0, 100]): the inclusive upper bound
+  /// of the bucket holding the ceil(p/100 * count)-th smallest sample.
+  /// p = 0 reports the exact minimum, p = 100 is clamped by the exact
+  /// maximum; an empty histogram reports 0.
+  std::uint64_t percentile(double p) const {
+    LIPLIB_EXPECT(p >= 0 && p <= 100, "percentile must be in [0, 100]");
+    if (count_ == 0) return 0;
+    if (p <= 0) return min_;
+    // ceil(p * count / 100) without floating-point rank drift: percentile
+    // arguments are multiples of 0.5 in practice, but guard generally.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>((p * static_cast<double>(count_) + 99.0) /
+                                   100.0);
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) {
+        const std::uint64_t hi = bucket_hi(b);
+        return hi > max_ ? max_ : hi;
+      }
+    }
+    return max_;
+  }
+
+  /// Schema "liplib.loghist/1": count/total/min/max plus the non-empty
+  /// buckets ({lo, hi, n}) and the standard percentile ladder.
+  Json to_json() const {
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      buckets.push(Json::object()
+                       .set("lo", bucket_lo(b))
+                       .set("hi", bucket_hi(b))
+                       .set("n", buckets_[b]));
+    }
+    Json j = Json::object()
+                 .set("schema", "liplib.loghist/1")
+                 .set("count", count_)
+                 .set("total", total_)
+                 .set("min", min())
+                 .set("max", max())
+                 .set("buckets", std::move(buckets));
+    Json pct = Json::object();
+    for (const double p : {50.0, 90.0, 99.0}) {
+      pct.set("p" + std::to_string(static_cast<int>(p)), percentile(p));
+    }
+    j.set("percentiles", std::move(pct));
+    return j;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace liplib::metrics

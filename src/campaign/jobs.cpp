@@ -1,6 +1,7 @@
 #include "liplib/campaign/jobs.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -344,6 +345,16 @@ JobResult run_probe_measurement(const graph::Topology& topo,
        << top->culprit_name << " x" << top->cycles;
     r.detail = os.str();
   }
+  // Fold the blame histogram by culprit for the fleet-level
+  // blame-by-culprit distribution (campaign::FleetMetrics).
+  std::map<std::string, std::uint64_t> by_culprit;
+  for (const auto& b : report.blame) by_culprit[b.culprit_name] += b.cycles;
+  r.blame.assign(by_culprit.begin(), by_culprit.end());
+  std::stable_sort(r.blame.begin(), r.blame.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
   return r;
 }
 

@@ -32,13 +32,73 @@ std::size_t Aggregate::count(Outcome o) const {
   return 0;
 }
 
-Rational Aggregate::min_throughput() const {
-  return throughputs.empty() ? Rational(0) : throughputs.front().first;
+std::optional<Rational> Aggregate::min_throughput() const {
+  if (throughputs.empty()) return std::nullopt;
+  return throughputs.front().first;
 }
 
-Rational Aggregate::max_throughput() const {
-  return throughputs.empty() ? Rational(0) : throughputs.back().first;
+std::optional<Rational> Aggregate::max_throughput() const {
+  if (throughputs.empty()) return std::nullopt;
+  return throughputs.back().first;
 }
+
+namespace {
+
+/// The exported percentile ladder (integer percents; exact ranks).
+constexpr int kPercentiles[] = {0, 25, 50, 75, 90, 99, 100};
+
+/// Nearest-rank percentile over the sorted (value, count) multiset.
+Rational multiset_percentile(
+    const std::vector<std::pair<Rational, std::size_t>>& sorted,
+    std::size_t total, int pct) {
+  std::size_t rank =
+      pct == 0 ? 1
+               : (static_cast<std::size_t>(pct) * total + 99) / 100;
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::size_t seen = 0;
+  for (const auto& [value, count] : sorted) {
+    seen += count;
+    if (seen >= rank) return value;
+  }
+  return sorted.back().first;
+}
+
+FleetMetrics fold_fleet(const std::vector<JobResult>& results,
+                        const Aggregate& agg) {
+  FleetMetrics fleet;
+  std::map<std::string, std::uint64_t> blame;
+  std::size_t tp_total = 0;
+  for (const auto& [value, count] : agg.throughputs) {
+    (void)value;
+    tp_total += count;
+  }
+  for (const auto& r : results) {
+    fleet.cycles.record(r.cycles);
+    if (r.has_throughput) {
+      fleet.transient.record(r.transient);
+      fleet.period.record(r.period);
+    }
+    for (const auto& [culprit, cycles] : r.blame) blame[culprit] += cycles;
+  }
+  if (tp_total > 0) {
+    for (int pct : kPercentiles) {
+      fleet.throughput_percentiles.emplace_back(
+          "p" + std::to_string(pct),
+          multiset_percentile(agg.throughputs, tp_total, pct));
+    }
+  }
+  fleet.blame_by_culprit.assign(blame.begin(), blame.end());
+  std::stable_sort(fleet.blame_by_culprit.begin(),
+                   fleet.blame_by_culprit.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  return fleet;
+}
+
+}  // namespace
 
 Aggregate aggregate(const std::vector<JobResult>& results) {
   Aggregate agg;
@@ -56,6 +116,7 @@ Aggregate aggregate(const std::vector<JobResult>& results) {
     agg.outcomes.emplace_back(o, hist.count(o) ? hist[o] : 0);
   }
   agg.throughputs.assign(tp.begin(), tp.end());
+  agg.fleet = fold_fleet(results, agg);
   return agg;
 }
 
@@ -81,27 +142,78 @@ Json to_json(const Aggregate& agg) {
                       .set("detail", r.detail));
   }
 
+  Json pct = Json::object();
+  for (const auto& [name, value] : agg.fleet.throughput_percentiles) {
+    pct.set(name, value);
+  }
+  Json blame = Json::array();
+  for (const auto& [culprit, cycles] : agg.fleet.blame_by_culprit) {
+    blame.push(Json::object().set("culprit", culprit).set("cycles", cycles));
+  }
+  Json fleet = Json::object()
+                   .set("throughput_percentiles",
+                        agg.fleet.throughput_percentiles.empty()
+                            ? Json()
+                            : std::move(pct))
+                   .set("transient", agg.fleet.transient.to_json())
+                   .set("period", agg.fleet.period.to_json())
+                   .set("cycles", agg.fleet.cycles.to_json())
+                   .set("blame_by_culprit", std::move(blame));
+
+  // min/max are null (not 0) when no job reported a throughput — a real
+  // all-deadlock campaign reports "0".
   return Json::object()
-      .set("schema", "liplib.campaign.aggregate/1")
+      .set("schema", "liplib.campaign.aggregate/2")
       .set("total_jobs", agg.total)
       .set("total_cycles", agg.total_cycles)
       .set("outcomes", std::move(outcomes))
-      .set("min_throughput", agg.min_throughput())
-      .set("max_throughput", agg.max_throughput())
+      .set("min_throughput",
+           agg.min_throughput() ? Json(*agg.min_throughput()) : Json())
+      .set("max_throughput",
+           agg.max_throughput() ? Json(*agg.max_throughput()) : Json())
       .set("throughput_histogram", std::move(throughputs))
+      .set("fleet", std::move(fleet))
       .set("failures", std::move(failures));
 }
 
 std::string to_csv(const std::vector<JobResult>& results) {
   std::ostringstream os;
   os << "index,name,seed,outcome,cycles,throughput,transient,period,"
-        "detail\n";
+        "detail,top_blame\n";
   for (const auto& r : results) {
+    std::string blame;
+    for (const auto& [culprit, cycles] : r.blame) {
+      if (!blame.empty()) blame += ';';
+      blame += culprit + ":" + std::to_string(cycles);
+    }
     os << r.index << ',' << csv_quote(r.name) << ',' << r.seed << ','
        << outcome_name(r.outcome) << ',' << r.cycles << ','
        << (r.has_throughput ? r.throughput.str() : "") << ','
        << r.transient << ',' << r.period << ',' << csv_quote(r.detail)
-       << '\n';
+       << ',' << csv_quote(blame) << '\n';
+  }
+  return os.str();
+}
+
+std::string fleet_to_csv(const Aggregate& agg) {
+  std::ostringstream os;
+  os << "metric,value\n";
+  for (const auto& [name, value] : agg.fleet.throughput_percentiles) {
+    os << "throughput_" << name << ',' << value.str() << '\n';
+  }
+  auto hist = [&](const char* name, const metrics::LogHistogram& h) {
+    os << name << "_count," << h.count() << '\n';
+    os << name << "_min," << h.min() << '\n';
+    os << name << "_p50," << h.percentile(50) << '\n';
+    os << name << "_p90," << h.percentile(90) << '\n';
+    os << name << "_p99," << h.percentile(99) << '\n';
+    os << name << "_max," << h.max() << '\n';
+  };
+  hist("transient", agg.fleet.transient);
+  hist("period", agg.fleet.period);
+  hist("cycles", agg.fleet.cycles);
+  for (const auto& [culprit, cycles] : agg.fleet.blame_by_culprit) {
+    os << csv_quote("blame." + culprit) << ',' << cycles << '\n';
   }
   return os.str();
 }

@@ -95,6 +95,8 @@ void Probe::bind(const graph::Topology& topo, Wiring wiring) {
       cfg_.trace->name_thread(kTracePid, i + 1, unit_names_[i]);
     }
   }
+
+  if (cfg_.observer != nullptr) cfg_.observer->on_bind(*this);
 }
 
 std::size_t Probe::unit_ordinal(const Unit& u) const {
@@ -348,6 +350,11 @@ void Probe::commit_cycle(std::uint64_t cycle) {
   ++window_cycles_;
   last_cycle_ = cycle;
   any_cycle_ = true;
+  // Observers run last so blame/counter state includes this cycle.
+  if (cfg_.observer != nullptr) {
+    cfg_.observer->on_cycle(cycle, valid_.data(), stop_.data(),
+                            activity_.data());
+  }
 }
 
 void Probe::reset_window() {

@@ -194,7 +194,7 @@ TEST(Campaign, AggregateHistogramsAreExactAndOrdered) {
   EXPECT_EQ(agg.failures[0].index, 3u);
 
   const std::string json = to_json(agg).dump();
-  EXPECT_NE(json.find("\"schema\":\"liplib.campaign.aggregate/1\""),
+  EXPECT_NE(json.find("\"schema\":\"liplib.campaign.aggregate/2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"live\":3"), std::string::npos);
 }
