@@ -18,10 +18,20 @@
 //   lidtool replay    <bundle.json> re-run a watchdog post-mortem bundle and
 //                                   check the deadlock reproduces
 //   lidtool bench diff <old> <new>  perf regression gate over BENCH_*.json
+//   lidtool serve     ...           multi-tenant lint/screen/profile daemon
+//                                   with a content-addressed result cache
+//   lidtool client    ...           scripted requests against a daemon
 //
 // Run without arguments for a demo on the paper's Fig. 1 design.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -42,6 +52,7 @@
 #include "liplib/pearls/design_io.hpp"
 #include "liplib/probe/probe.hpp"
 #include "liplib/probe/trace.hpp"
+#include "liplib/serve/server.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/support/table.hpp"
 #include "liplib/telemetry/bench_diff.hpp"
@@ -121,6 +132,27 @@ telemetry commands (see docs/telemetry.md):
                                 1 regression / 2 bad input
     --threshold PCT    regression threshold in percent (default 10)
     --json             render the comparison as canonical JSON
+
+serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
+  serve                         run the multi-tenant daemon on 127.0.0.1:
+                                lint / screen / profile / campaign requests
+                                from concurrent clients, answered through a
+                                content-addressed result cache
+    --port N       TCP port (default 7177; 0 = ephemeral, printed on start)
+    --threads N    campaign worker threads (default: hardware)
+    --cache-mb N   result cache budget in MiB (default 64)
+    --ttl N        cache entry lifetime in seconds (default 600; 0 = never)
+    --budget N     default + maximum screening cycle budget (default 2^18)
+  client <kind> [args]          send one request, print the JSON response;
+                                exit 0 live/clean, 1 diagnosed, 2 error
+    kinds: lint <file.lid> | screen <file.lid> | profile <file.lid> |
+           campaign <fuzz|lint|probe> <jobs> | status | shutdown
+    --port N       daemon port (default 7177)
+    --policy P     variant | strict (screen / campaign)
+    --budget N     cycle budget (screen / campaign)
+    --cycles N     cycles to simulate (profile)
+    --seed S       campaign base seed (default 1)
+    --id X         request id echoed in the response
 
 other:
   --help, -h, help              this text
@@ -837,6 +869,169 @@ int cmd_campaign(int argc, char** argv) {
   return 2;
 }
 
+// ---- serve / client subcommands -------------------------------------------
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions opts;
+  opts.port = 7177;
+  std::uint64_t ttl_s = 600;
+  std::uint64_t cache_mb = 64;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      LIPLIB_EXPECT(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--port") {
+      opts.port = static_cast<std::uint16_t>(
+          parse_u64(value("--port"), "--port"));
+    } else if (a == "--threads") {
+      opts.threads =
+          static_cast<unsigned>(parse_u64(value("--threads"), "--threads"));
+    } else if (a == "--cache-mb") {
+      cache_mb = parse_u64(value("--cache-mb"), "--cache-mb");
+    } else if (a == "--ttl") {
+      ttl_s = parse_u64(value("--ttl"), "--ttl");
+    } else if (a == "--budget") {
+      opts.default_budget = parse_u64(value("--budget"), "--budget");
+      opts.max_budget = std::max(opts.max_budget, opts.default_budget);
+    } else {
+      std::cerr << "unknown serve option '" << a << "'\n\n" << kUsage;
+      return 2;
+    }
+  }
+  opts.cache.capacity_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  opts.cache.ttl_ms = ttl_s * 1000;
+
+  serve::Server server(opts);
+  server.start();
+  std::cout << "liplib.rpc/1 serving on 127.0.0.1:" << server.port()
+            << " (cache " << cache_mb << " MiB, ttl "
+            << (ttl_s == 0 ? std::string("off") : std::to_string(ttl_s) + " s")
+            << ", budget " << opts.default_budget
+            << "); stop with `lidtool client shutdown --port "
+            << server.port() << "`\n"
+            << std::flush;
+  server.wait();
+  const auto stats = server.context().cache.stats();
+  std::cout << "drained: served "
+            << server.context().requests_total.value() << " request(s), "
+            << stats.hits << " cache hit(s), " << stats.evictions
+            << " eviction(s)\n";
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::uint16_t port = 7177;
+  Json request = Json::object().set("rpc", serve::kRpcSchema);
+  std::string kind;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      LIPLIB_EXPECT(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--port") {
+      port = static_cast<std::uint16_t>(parse_u64(value("--port"), "--port"));
+    } else if (a == "--policy") {
+      request.set("policy", value("--policy"));
+    } else if (a == "--budget") {
+      request.set("budget", parse_u64(value("--budget"), "--budget"));
+    } else if (a == "--cycles") {
+      request.set("cycles", parse_u64(value("--cycles"), "--cycles"));
+    } else if (a == "--seed") {
+      request.set("seed", parse_u64(value("--seed"), "--seed"));
+    } else if (a == "--id") {
+      request.set("id", value("--id"));
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown client option '" << a << "'\n\n" << kUsage;
+      return 2;
+    } else if (kind.empty()) {
+      kind = a;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (kind.empty()) {
+    std::cerr << "client requires a request kind: lint | screen | profile | "
+                 "campaign | status | shutdown\n\n"
+              << kUsage;
+    return 2;
+  }
+  request.set("kind", kind);
+  if (kind == "lint" || kind == "screen" || kind == "profile") {
+    if (positional.size() != 1) {
+      std::cerr << "client " << kind << " requires exactly one <file.lid>\n";
+      return 2;
+    }
+    std::ifstream in(positional[0]);
+    if (!in) {
+      std::cerr << "cannot open " << positional[0] << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    request.set("netlist", ss.str());
+  } else if (kind == "campaign") {
+    if (positional.size() != 2) {
+      std::cerr << "client campaign requires <fuzz|lint|probe> <jobs>\n";
+      return 2;
+    }
+    request.set("mode", positional[0]);
+    request.set("jobs", parse_u64(positional[1], "campaign jobs"));
+  } else if (kind == "status" || kind == "shutdown") {
+    if (!positional.empty()) {
+      std::cerr << "client " << kind << " takes no arguments\n";
+      return 2;
+    }
+  } else {
+    std::cerr << "unknown client request kind '" << kind << "'\n\n" << kUsage;
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "socket failed: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::cerr << "cannot connect to 127.0.0.1:" << port << ": "
+              << std::strerror(errno) << " (is `lidtool serve` running?)\n";
+    ::close(fd);
+    return 2;
+  }
+  int rc = 2;
+  try {
+    serve::write_frame(fd, request.dump());
+    std::string payload;
+    if (!serve::read_frame(fd, payload)) {
+      throw ApiError("server closed the connection without answering");
+    }
+    const Json response = Json::parse(payload);
+    std::cout << response.dump(2) << "\n";
+    const Json* ok = response.find("ok");
+    if (ok && ok->is_bool() && ok->as_bool()) {
+      rc = 0;
+      if (const Json* result = response.find("result")) {
+        if (const Json* verdict = result->find("verdict")) {
+          const std::string& v = verdict->as_string();
+          if (v != "live" && v != "clean" && v != "all_live") rc = 1;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    rc = 2;
+  }
+  ::close(fd);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -848,6 +1043,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "campaign") return cmd_campaign(argc, argv);
     if (cmd == "bench") return cmd_bench(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "client") return cmd_client(argc, argv);
 
     graph::Topology topo;
     // Arguments after the netlist file; every command must consume all

@@ -100,6 +100,14 @@ struct EngineOptions {
   std::uint64_t base_seed = 1;
   /// Cycle budget handed to every job through its context.
   std::uint64_t cycle_budget = 1u << 20;
+  /// Jobs per work unit in the submit path.  Small jobs (a ~30 µs
+  /// skeleton screen) lose everything to per-job deque traffic, so the
+  /// pool hands out fixed-size chunks of consecutive indices instead of
+  /// single jobs; stealing moves whole chunks.  0 = auto: the batch is
+  /// split so every worker starts with ~8 chunks (at least 1, at most
+  /// 64 jobs per chunk).  Determinism is unaffected — results are
+  /// written by job index regardless of which worker runs a chunk.
+  std::size_t chunk_size = 0;
 };
 
 /// Execution statistics of one Engine::run (for benchmarking and for

@@ -1,0 +1,150 @@
+// liplib/serve/server.hpp
+//
+// liplib::serve — the multi-tenant lint/screen/profile daemon.
+//
+// A Server binds a loopback TCP socket and serves liplib.rpc/1 requests
+// (protocol.hpp) from concurrent clients: static lint, watchdog-guarded
+// deadlock screening, probe-instrumented profiling, and whole campaign
+// batches executed on the campaign engine's chunked work-stealing pool.
+// Every cacheable result flows through the content-addressed
+// ResultCache (cache.hpp), so a fleet that keeps re-screening the same
+// designs is served from memory, byte-for-byte identical to a fresh
+// run.
+//
+// Concurrency model: one accept loop plus one thread per connection
+// (bounded by `max_connections`; excess connects queue in the kernel
+// backlog).  Single-design requests run on their connection's thread —
+// tenant concurrency is connection concurrency — while `campaign`
+// requests fan out on a campaign::Engine sized by `threads`.  A
+// deadlocked or livelocked design cannot wedge a worker: screening and
+// profiling run under the telemetry watchdog and degrade to a DEADLOCK
+// verdict carrying the post-mortem bundle.
+//
+// Shutdown is graceful: a `shutdown` request (or Server::shutdown())
+// stops the accept loop, lets every in-flight request finish and
+// answer, then closes the connections.  `status` reports cache and
+// request counters (support/metrics.hpp) for scraping.
+//
+// The request handler (handle_payload) is pure protocol — it maps a
+// request payload plus a ServeContext to a response payload — so the
+// full dispatch/cache layer is unit-testable without sockets.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "liplib/serve/cache.hpp"
+#include "liplib/serve/protocol.hpp"
+#include "liplib/support/json.hpp"
+#include "liplib/support/metrics.hpp"
+
+namespace liplib::serve {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the bound port back
+  /// with Server::port()).
+  std::uint16_t port = 0;
+  /// Worker threads for `campaign` requests (campaign::EngineOptions::
+  /// threads); 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Concurrent connections served; further connects wait in the
+  /// kernel's listen backlog.
+  unsigned max_connections = 64;
+  CacheOptions cache;
+  FrameLimits limits;
+  /// Watchdog-guarded cycle budget for screen requests (and the cap for
+  /// profile cycle counts); requests may ask for less, never for more.
+  std::uint64_t max_budget = 1u << 20;
+  std::uint64_t default_budget = 1u << 18;
+  std::uint64_t default_profile_cycles = 10000;
+  /// Watchdog no-progress threshold (telemetry::WatchdogOptions).
+  std::uint64_t watchdog_threshold = 64;
+};
+
+/// Shared state of one daemon instance: options, the result cache and
+/// the status counters.  Owned by Server in production; constructed
+/// standalone in tests that exercise handle_payload directly.
+struct ServeContext {
+  explicit ServeContext(ServerOptions options = {},
+                        std::function<std::uint64_t()> now_ms = {});
+
+  ServerOptions opts;
+  ResultCache cache;
+
+  std::mutex mu;  ///< guards the counters below
+  metrics::Counter requests_total;
+  metrics::Counter requests_by_kind[6];  ///< indexed by RequestKind
+  metrics::Counter protocol_errors;      ///< malformed frames / requests
+  metrics::Counter request_errors;       ///< well-formed requests that failed
+  metrics::Counter deadlock_verdicts;    ///< watchdog-tripped answers
+  metrics::Gauge inflight;               ///< requests being computed now
+
+  std::atomic<bool> draining{false};  ///< set by a shutdown request
+
+  /// Counter snapshot for the status document (schema
+  /// "liplib.serve.status/1"); includes the cache counters.
+  Json status_json();
+};
+
+/// Maps one request payload to one response payload: parse + validate,
+/// consult the cache, compute on miss, insert, wrap in the envelope.
+/// Never throws — every failure becomes an {"ok": false} envelope.
+/// This is the whole daemon except the sockets.
+std::string handle_payload(std::string_view payload, ServeContext& ctx);
+
+/// The TCP daemon.  start() binds and spawns the accept loop; wait()
+/// blocks until a shutdown request (or shutdown()) has drained the
+/// in-flight work and every connection is closed.
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port> and starts accepting.  Throws ApiError when
+  /// the port cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until the daemon has fully drained after a shutdown.
+  void wait();
+
+  /// Programmatic graceful shutdown (idempotent): equivalent to
+  /// receiving a `shutdown` request.
+  void shutdown();
+
+  ServeContext& context() { return ctx_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void begin_drain();
+
+  ServeContext ctx_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  ///< open connection fds (for drain wakeup)
+  unsigned active_ = 0;
+  std::condition_variable conn_cv_;
+  std::atomic<bool> stopping_{false};
+  std::once_flag drain_once_;
+};
+
+}  // namespace liplib::serve

@@ -155,10 +155,32 @@ class Json {
     return os.str();
   }
 
+  /// Input guards for parse().  The defaults are generous for trusted
+  /// artifacts (BENCH_*.json, post-mortem bundles); layers that feed the
+  /// parser untrusted bytes — the serve RPC layer — pass their own
+  /// ceilings.  Violations are explicit ApiErrors, never silent
+  /// truncation and never an unbounded recursion.
+  struct ParseLimits {
+    /// Maximum input length in bytes.
+    std::size_t max_bytes = 64u << 20;
+    /// Maximum object/array nesting depth (each level is one native
+    /// recursion frame, so this bounds stack use).
+    std::size_t max_depth = 128;
+  };
+
+  /// Parses with the default limits.
+  static Json parse(std::string_view text) { return parse(text, ParseLimits()); }
+
   /// Parses a JSON document.  Strict: one value, nothing but whitespace
-  /// after it; throws ApiError with a byte offset on malformed input.
-  static Json parse(std::string_view text) {
-    Parser p{text, 0};
+  /// after it; throws ApiError with a byte offset on malformed input,
+  /// and up front when the input breaches `limits`.
+  static Json parse(std::string_view text, const ParseLimits& limits) {
+    if (text.size() > limits.max_bytes) {
+      throw ApiError("JSON input of " + std::to_string(text.size()) +
+                     " bytes exceeds the limit of " +
+                     std::to_string(limits.max_bytes) + " bytes");
+    }
+    Parser p{text, 0, 0, limits.max_depth};
     Json v = p.value();
     p.skip_ws();
     if (p.pos != text.size()) p.fail("trailing characters after the value");
@@ -172,6 +194,8 @@ class Json {
   struct Parser {
     std::string_view text;
     std::size_t pos;
+    std::size_t depth;
+    std::size_t max_depth;
 
     [[noreturn]] void fail(const std::string& what) const {
       throw ApiError("JSON parse error at byte " + std::to_string(pos) +
@@ -201,8 +225,17 @@ class Json {
     Json value() {
       skip_ws();
       switch (peek()) {
-        case '{': return object();
-        case '[': return array();
+        case '{':
+        case '[': {
+          if (depth >= max_depth) {
+            fail("nesting deeper than the limit of " +
+                 std::to_string(max_depth) + " levels");
+          }
+          ++depth;
+          Json v = text[pos] == '{' ? object() : array();
+          --depth;
+          return v;
+        }
         case '"': return Json(string());
         case 't':
           if (consume_word("true")) return Json(true);

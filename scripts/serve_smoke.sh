@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Smoke test for the lidtool serve daemon, exercised end-to-end through
+# the shipped binary: start a daemon on an ephemeral port, fire 100
+# mixed requests at it from `lidtool client` (lint / screen / profile /
+# campaign, including a design with a deliberate worst-case deadlock),
+# then assert via `status` that the cache actually served hits, that
+# the deadlock was answered as a verdict (not a hang), and that a
+# `shutdown` request drains cleanly.
+#
+# Usage: scripts/serve_smoke.sh [path/to/lidtool]
+# (default: build/examples/lidtool relative to the repo root)
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+lidtool="${1:-$repo_root/build/examples/lidtool}"
+
+if [ ! -x "$lidtool" ]; then
+  echo "serve_smoke: lidtool not found at $lidtool" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$work/serve.log" >&2 || true
+  exit 1
+}
+
+# ---- fixtures -----------------------------------------------------------
+
+# The paper's Fig. 1: live under both reset and worst-case occupancy.
+cat > "$work/fig1.lid" <<'EOF'
+source src
+process A 1 2
+process B 1 1
+process C 2 1
+sink out
+channel src.0 -> A.0
+channel A.0 -> B.0 : F
+channel B.0 -> C.0 : F
+channel A.1 -> C.1 : F
+channel C.0 -> out.0
+EOF
+
+# The latent stop latch: a two-shell ring of half relay stations is
+# live from reset but deadlocks under worst-case occupancy.  The daemon
+# must answer this with a DEADLOCK verdict, not a wedged worker.
+cat > "$work/deadlock.lid" <<'EOF'
+process P 1 1
+process Q 1 1
+channel P.0 -> Q.0 : H
+channel Q.0 -> P.0 : H
+EOF
+
+# ---- start the daemon ---------------------------------------------------
+
+"$lidtool" serve --port 0 --cache-mb 8 --ttl 600 > "$work/serve.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$work/serve.log" | head -n1)"
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before binding"
+  sleep 0.1
+done
+[ -n "$port" ] && [ "$port" != "0" ] || fail "could not learn the bound port"
+echo "serve_smoke: daemon up on port $port (pid $server_pid)"
+
+client() { "$lidtool" client "$@" --port "$port"; }
+
+# ---- 100 mixed requests -------------------------------------------------
+
+# 24 rounds x 4 request kinds = 96, plus 2 campaigns, plus the final
+# status + shutdown below = 100 frames total.  After round one, every
+# lint/screen/profile answer must be a cache hit.
+requests=0
+deadlock_answers=0
+for _ in $(seq 1 24); do
+  client lint "$work/fig1.lid" > /dev/null \
+    || fail "lint of a clean design did not exit 0"
+  client screen "$work/fig1.lid" > /dev/null \
+    || fail "screen of a live design did not exit 0"
+  client profile "$work/fig1.lid" --cycles 2000 > /dev/null \
+    || fail "profile of a live design did not exit 0"
+  client screen "$work/deadlock.lid" > "$work/deadlock.json"
+  rc=$?
+  [ "$rc" -eq 1 ] || fail "screen of the deadlock design exited $rc, want 1"
+  grep -q '"verdict": "deadlock"' "$work/deadlock.json" \
+    || fail "deadlock design was not answered with a deadlock verdict"
+  deadlock_answers=$((deadlock_answers + 1))
+  requests=$((requests + 4))
+done
+client campaign fuzz 10 --seed 7 > /dev/null || fail "campaign fuzz failed"
+client campaign fuzz 10 --seed 7 > /dev/null || fail "repeat campaign failed"
+requests=$((requests + 2))
+echo "serve_smoke: $requests requests served, $deadlock_answers deadlock verdicts"
+
+# ---- status: the cache must have served hits ----------------------------
+
+client status > "$work/status.json" || fail "status request failed"
+get() { sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$work/status.json" | head -n1; }
+
+hits="$(get hits)"
+total="$(get total)"
+verdicts="$(get deadlock_verdicts)"
+[ -n "$hits" ] || fail "status did not report cache hits"
+[ "$total" -eq $((requests + 1)) ] \
+  || fail "status reports $total requests, want $((requests + 1))"
+# 4 distinct cache keys (lint/screen/profile of fig1, screen of the
+# deadlock ring) computed once each + 1 campaign key: everything else
+# must have come from the cache.
+[ "$hits" -ge $((requests - 10)) ] \
+  || fail "only $hits cache hits across $requests requests"
+# deadlock_verdicts counts watchdog-tripped computations; the 23 repeat
+# answers came from the cache without re-running the watchdog.
+[ -n "$verdicts" ] && [ "$verdicts" -ge 1 ] \
+  || fail "status reports no deadlock verdicts despite $deadlock_answers deadlock answers"
+echo "serve_smoke: cache hits $hits / $total requests"
+
+# ---- graceful shutdown --------------------------------------------------
+
+client shutdown > /dev/null || fail "shutdown request failed"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  fail "daemon still running 10s after the shutdown request"
+fi
+wait "$server_pid"
+server_pid=""
+grep -q "drained: served" "$work/serve.log" \
+  || fail "daemon did not report a clean drain"
+echo "serve_smoke: PASS ($(grep 'drained:' "$work/serve.log"))"

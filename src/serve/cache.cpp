@@ -1,0 +1,123 @@
+#include "liplib/serve/cache.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "liplib/graph/netlist_io.hpp"
+
+namespace liplib::serve {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t topology_hash(const graph::Topology& topo) {
+  return fnv1a64(graph::write_netlist(topo));
+}
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t entry_bytes(const std::string& key, const std::string& value) {
+  return key.size() + value.size();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheOptions opts,
+                         std::function<std::uint64_t()> now_ms)
+    : opts_(opts), now_ms_(now_ms ? std::move(now_ms) : steady_now_ms) {}
+
+void ResultCache::erase_locked(LruList::iterator it) {
+  bytes_ -= entry_bytes(it->key, it->value);
+  index_.erase(std::string_view(it->key));
+  lru_.erase(it);
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto found = index_.find(std::string_view(key));
+  if (found == index_.end()) {
+    misses_.add();
+    return std::nullopt;
+  }
+  const auto it = found->second;
+  if (it->expires_ms != 0 && now_ms_() >= it->expires_ms) {
+    erase_locked(it);
+    expirations_.add();
+    misses_.add();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it);  // refresh recency
+  hits_.add();
+  return it->value;
+}
+
+void ResultCache::insert(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto found = index_.find(std::string_view(key));
+  if (found != index_.end()) erase_locked(found->second);
+
+  Entry e;
+  e.key = key;
+  e.value = std::move(value);
+  e.expires_ms = opts_.ttl_ms == 0 ? 0 : now_ms_() + opts_.ttl_ms;
+  bytes_ += entry_bytes(e.key, e.value);
+  lru_.push_front(std::move(e));
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  insertions_.add();
+
+  // Evict from the cold end; the entry just inserted is at the hot end
+  // and survives unless it alone exceeds the whole budget.
+  while (bytes_ > opts_.capacity_bytes && lru_.size() > 1) {
+    erase_locked(std::prev(lru_.end()));
+    evictions_.add();
+  }
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.insertions = insertions_.value();
+  s.evictions = evictions_.value();
+  s.expirations = expirations_.value();
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+Json ResultCache::stats_json() const {
+  const CacheStats s = stats();
+  return Json::object()
+      .set("hits", s.hits)
+      .set("misses", s.misses)
+      .set("insertions", s.insertions)
+      .set("evictions", s.evictions)
+      .set("expirations", s.expirations)
+      .set("entries", static_cast<std::uint64_t>(s.entries))
+      .set("bytes", static_cast<std::uint64_t>(s.bytes))
+      .set("capacity_bytes", static_cast<std::uint64_t>(opts_.capacity_bytes))
+      .set("ttl_ms", opts_.ttl_ms);
+}
+
+}  // namespace liplib::serve

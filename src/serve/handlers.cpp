@@ -1,0 +1,372 @@
+// Request dispatch of the serve daemon: parse + validate, consult the
+// content-addressed cache, compute on miss, wrap in the envelope.  Pure
+// protocol — no sockets — so the whole layer is unit-testable and the
+// byte-identity of cached vs fresh responses is a property of this file
+// alone.
+
+#include <sstream>
+#include <utility>
+
+#include "liplib/campaign/campaign.hpp"
+#include "liplib/campaign/jobs.hpp"
+#include "liplib/campaign/report.hpp"
+#include "liplib/graph/netlist_io.hpp"
+#include "liplib/lint/lint.hpp"
+#include "liplib/pearls/design_io.hpp"
+#include "liplib/serve/server.hpp"
+#include "liplib/skeleton/skeleton.hpp"
+#include "liplib/telemetry/watchdog.hpp"
+
+namespace liplib::serve {
+
+ServeContext::ServeContext(ServerOptions options,
+                           std::function<std::uint64_t()> now_ms)
+    : opts(options), cache(options.cache, std::move(now_ms)) {}
+
+Json ServeContext::status_json() {
+  std::lock_guard<std::mutex> lock(mu);
+  Json requests = Json::object();
+  requests.set("total", requests_total.value());
+  for (int k = 0; k < 6; ++k) {
+    requests.set(request_kind_name(static_cast<RequestKind>(k)),
+                 requests_by_kind[k].value());
+  }
+  requests.set("protocol_errors", protocol_errors.value())
+      .set("request_errors", request_errors.value())
+      .set("deadlock_verdicts", deadlock_verdicts.value());
+  return Json::object()
+      .set("schema", "liplib.serve.status/1")
+      .set("draining", draining.load())
+      .set("inflight", static_cast<std::int64_t>(inflight.value()))
+      .set("requests", std::move(requests))
+      .set("cache", cache.stats_json())
+      .set("config",
+           Json::object()
+               .set("threads", opts.threads)
+               .set("max_connections", opts.max_connections)
+               .set("max_frame_bytes",
+                    static_cast<std::uint64_t>(opts.limits.max_frame_bytes))
+               .set("default_budget", opts.default_budget)
+               .set("max_budget", opts.max_budget)
+               .set("default_profile_cycles", opts.default_profile_cycles));
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+lip::StopPolicy policy_of(const Request& req) {
+  return req.policy == "strict" ? lip::StopPolicy::kCarloniStrict
+                                : lip::StopPolicy::kCasuDiscardOnVoid;
+}
+
+/// Request budget clamped to the server's ceiling (tenants may ask for
+/// less, never for more).
+std::uint64_t effective_budget(const Request& req, const ServerOptions& o) {
+  const std::uint64_t asked = req.budget == 0 ? o.default_budget : req.budget;
+  return std::min(asked, o.max_budget);
+}
+
+std::uint64_t effective_cycles(const Request& req, const ServerOptions& o) {
+  const std::uint64_t asked =
+      req.cycles == 0 ? o.default_profile_cycles : req.cycles;
+  return std::min(asked, o.max_budget);
+}
+
+/// Parsed design artifacts shared by key derivation and computation:
+/// the canonical content hash covers the topology *and* the behavioural
+/// annotations, so two texts that differ only in formatting or comments
+/// collapse to one cache entry while a changed pearl spec does not.
+struct ParsedDesign {
+  graph::AnnotatedNetlist net;
+  std::uint64_t content_hash = 0;
+};
+
+ParsedDesign parse_design_text(const std::string& netlist) {
+  ParsedDesign d;
+  d.net = graph::parse_netlist_annotated_string(netlist);
+  std::uint64_t h = fnv1a64(graph::write_netlist(d.net.topo));
+  for (const auto& a : d.net.node_annotation) {
+    h = fnv1a64(a, h * 0x100000001b3ull + 1);
+  }
+  d.content_hash = h;
+  return d;
+}
+
+/// Outcome of one computed (uncached) request.
+struct Computed {
+  std::string result;     ///< serialized result document
+  bool deadlock = false;  ///< a watchdog verdict was answered
+};
+
+// ---- lint ---------------------------------------------------------------
+
+Computed compute_lint(const ParsedDesign& d) {
+  const auto report = lint::run_lint(d.net.topo);
+  const int exit_code = report.exit_code();
+  Json result = Json::object()
+                    .set("schema", "liplib.serve.lint/1")
+                    .set("topology_hash", hex64(topology_hash(d.net.topo)))
+                    .set("verdict", exit_code == 0   ? "clean"
+                                    : exit_code == 1 ? "warnings"
+                                                     : "errors")
+                    .set("report", report.to_json(d.net.topo));
+  return {result.dump(), false};
+}
+
+// ---- screen -------------------------------------------------------------
+
+/// One watchdog-guarded screening pass (reset or worst-case occupancy).
+/// A deadlocked design yields a verdict object carrying the post-mortem
+/// bundle instead of wedging the worker on a drained budget.
+Json screen_one(const graph::Topology& topo, bool worst_case,
+                lip::StopPolicy policy, std::uint64_t budget,
+                std::uint64_t threshold, bool* deadlocked) {
+  skeleton::SkeletonOptions sopts;
+  sopts.policy = policy;
+  {
+    skeleton::Skeleton guard(topo, sopts);
+    if (worst_case) guard.saturate_stations();
+    telemetry::WatchdogOptions wopts;
+    wopts.no_progress_threshold = threshold;
+    wopts.worst_case_occupancy = worst_case;
+    telemetry::Watchdog dog(wopts);
+    dog.attach(guard);
+    const auto run = telemetry::run_guarded(guard, dog, budget);
+    if (dog.tripped()) {
+      *deadlocked = true;
+      return Json::object()
+          .set("deadlock", true)
+          .set("reason", telemetry::trip_reason_str(dog.reason()))
+          .set("no_progress_since", dog.no_progress_since())
+          .set("trip_cycle", dog.trip_cycle())
+          .set("cycles", run.cycles)
+          .set("post_mortem", dog.post_mortem().to_json());
+    }
+  }
+  // Guard passed: a fresh skeleton delivers the exact steady state.
+  skeleton::Skeleton sk(topo, sopts);
+  if (worst_case) sk.saturate_stations();
+  const auto r = sk.analyze(budget);
+  Json j = Json::object().set("deadlock", false).set("found", r.found);
+  if (r.found) {
+    j.set("transient", r.transient)
+        .set("period", r.period)
+        .set("throughput", r.system_throughput());
+  }
+  return j;
+}
+
+Computed compute_screen(const ParsedDesign& d, const Request& req,
+                        const ServerOptions& opts) {
+  const std::uint64_t budget = effective_budget(req, opts);
+  bool deadlocked = false;
+  Json from_reset = screen_one(d.net.topo, /*worst_case=*/false,
+                               policy_of(req), budget,
+                               opts.watchdog_threshold, &deadlocked);
+  Json worst = screen_one(d.net.topo, /*worst_case=*/true, policy_of(req),
+                          budget, opts.watchdog_threshold, &deadlocked);
+  Json result = Json::object()
+                    .set("schema", "liplib.serve.screen/1")
+                    .set("topology_hash", hex64(topology_hash(d.net.topo)))
+                    .set("policy", req.policy)
+                    .set("budget", budget)
+                    .set("verdict", deadlocked ? "deadlock" : "live")
+                    .set("from_reset", std::move(from_reset))
+                    .set("worst_case", std::move(worst));
+  return {result.dump(), deadlocked};
+}
+
+// ---- profile ------------------------------------------------------------
+
+Computed compute_profile(const Request& req, const ServerOptions& opts) {
+  // Full-data probe-instrumented run; annotations select pearls and
+  // environments, unannotated nodes get the documented defaults.
+  auto design = pearls::parse_design_string(req.netlist);
+  auto sys = design.instantiate();
+  telemetry::WatchdogOptions wopts;
+  wopts.no_progress_threshold = opts.watchdog_threshold;
+  telemetry::Watchdog dog(wopts);
+  dog.attach(*sys);
+  const std::uint64_t cycles = effective_cycles(req, opts);
+  const auto run = telemetry::run_guarded(*sys, dog, cycles);
+
+  Json result = Json::object()
+                    .set("schema", "liplib.serve.profile/1")
+                    .set("topology_hash",
+                         hex64(topology_hash(design.topology())))
+                    .set("verdict", dog.tripped() ? "deadlock" : "live")
+                    .set("cycles", run.cycles);
+  if (dog.tripped()) {
+    result.set("reason", telemetry::trip_reason_str(dog.reason()))
+        .set("no_progress_since", dog.no_progress_since())
+        .set("trip_cycle", dog.trip_cycle())
+        .set("post_mortem", dog.post_mortem().to_json());
+  }
+  result.set("report", dog.probe().report().to_json());
+  return {result.dump(), dog.tripped()};
+}
+
+// ---- campaign -----------------------------------------------------------
+
+Computed compute_campaign(const Request& req, const ServerOptions& opts) {
+  std::vector<campaign::Job> jobs;
+  if (req.mode == "fuzz") {
+    for (std::uint64_t i = 0; i < req.jobs; ++i) {
+      campaign::FuzzSpec spec;
+      spec.shape = campaign::FuzzSpec::Shape::kComposite;
+      spec.policy = policy_of(req);
+      spec.size = 4;
+      jobs.push_back(
+          campaign::make_fuzz_job("fuzz/" + std::to_string(i), spec));
+    }
+  } else if (req.mode == "lint") {
+    jobs = campaign::make_lint_crosscheck_campaign(
+        static_cast<std::size_t>(req.jobs));
+  } else {
+    jobs = campaign::make_probe_campaign(static_cast<std::size_t>(req.jobs));
+  }
+  campaign::EngineOptions eopts;
+  eopts.threads = opts.threads;
+  eopts.base_seed = req.seed;
+  eopts.cycle_budget = effective_budget(req, opts);
+  const auto results = campaign::Engine(eopts).run(jobs);
+  const auto agg = campaign::aggregate(results);
+  Json result =
+      Json::object()
+          .set("schema", "liplib.serve.campaign/1")
+          .set("mode", req.mode)
+          .set("jobs", req.jobs)
+          .set("seed", req.seed)
+          .set("budget", eopts.cycle_budget)
+          .set("verdict", agg.all_live() ? "all_live" : "failures")
+          .set("deadlocks", agg.count(campaign::Outcome::kDeadlock))
+          .set("aggregate", campaign::to_json(agg));
+  return {result.dump(), agg.count(campaign::Outcome::kDeadlock) > 0};
+}
+
+// ---- cache keys ---------------------------------------------------------
+
+/// Content-addressed key of a cacheable request: (content hash, policy,
+/// seed, kind) plus the knobs that change the answer (budget / cycles).
+std::string cache_key(const Request& req, const ParsedDesign* design,
+                      const ServerOptions& opts) {
+  std::string key = request_kind_name(req.kind);
+  switch (req.kind) {
+    case RequestKind::kLint:
+      key += "/" + hex64(design->content_hash);
+      break;
+    case RequestKind::kScreen:
+      key += "/" + hex64(design->content_hash) + "/" + req.policy +
+             "/budget=" + std::to_string(effective_budget(req, opts));
+      break;
+    case RequestKind::kProfile:
+      key += "/" + hex64(design->content_hash) +
+             "/cycles=" + std::to_string(effective_cycles(req, opts));
+      break;
+    case RequestKind::kCampaign:
+      key += "/" + req.mode + "/" + req.policy +
+             "/jobs=" + std::to_string(req.jobs) +
+             "/seed=" + std::to_string(req.seed) +
+             "/budget=" + std::to_string(effective_budget(req, opts));
+      break;
+    default:
+      break;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string handle_payload(std::string_view payload, ServeContext& ctx) {
+  // Stage 1: decode.  Failures here are protocol errors; the id is
+  // echoed when the document got far enough to carry one.
+  Json doc;
+  Json id;
+  Request req;
+  try {
+    Json::ParseLimits limits;
+    limits.max_bytes = ctx.opts.limits.max_frame_bytes;
+    doc = Json::parse(payload, limits);
+    if (doc.is_object()) {
+      if (const Json* f = doc.find("id")) id = *f;
+    }
+    req = parse_request(doc);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.protocol_errors.add();
+    return error_envelope(id, e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.requests_total.add();
+    ctx.requests_by_kind[static_cast<int>(req.kind)].add();
+    ctx.inflight.add(1);
+  }
+  auto finish = [&ctx](bool deadlock, bool error) {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.inflight.add(-1);
+    if (deadlock) ctx.deadlock_verdicts.add();
+    if (error) ctx.request_errors.add();
+  };
+
+  // Stage 2: dispatch.  status/shutdown answer live state and are never
+  // cached; everything else flows through the content-addressed cache.
+  try {
+    if (req.kind == RequestKind::kStatus) {
+      const std::string result = ctx.status_json().dump();
+      finish(false, false);
+      return success_envelope(req.id, req.kind, /*cached=*/false, result);
+    }
+    if (req.kind == RequestKind::kShutdown) {
+      ctx.draining.store(true);
+      const std::string result = Json::object()
+                                     .set("schema", "liplib.serve.shutdown/1")
+                                     .set("draining", true)
+                                     .dump();
+      finish(false, false);
+      return success_envelope(req.id, req.kind, /*cached=*/false, result);
+    }
+
+    ParsedDesign design;
+    const bool needs_design = req.kind != RequestKind::kCampaign;
+    if (needs_design) design = parse_design_text(req.netlist);
+
+    const std::string key =
+        cache_key(req, needs_design ? &design : nullptr, ctx.opts);
+    if (auto hit = ctx.cache.lookup(key)) {
+      finish(false, false);
+      return success_envelope(req.id, req.kind, /*cached=*/true, *hit);
+    }
+
+    Computed computed;
+    switch (req.kind) {
+      case RequestKind::kLint: computed = compute_lint(design); break;
+      case RequestKind::kScreen:
+        computed = compute_screen(design, req, ctx.opts);
+        break;
+      case RequestKind::kProfile:
+        computed = compute_profile(req, ctx.opts);
+        break;
+      default: computed = compute_campaign(req, ctx.opts); break;
+    }
+    ctx.cache.insert(key, computed.result);
+    finish(computed.deadlock, false);
+    return success_envelope(req.id, req.kind, /*cached=*/false,
+                            computed.result);
+  } catch (const std::exception& e) {
+    finish(false, true);
+    return error_envelope(req.id, e.what());
+  }
+}
+
+}  // namespace liplib::serve

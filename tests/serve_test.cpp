@@ -1,0 +1,506 @@
+// liplib::serve — the multi-tenant daemon and its content-addressed
+// result cache.
+//
+// The acceptance spine: the cache answers repeated requests
+// byte-identically to a fresh computation (lint and screen), survives
+// 8 client threads hammering the same hot key (TSan-clean hit/miss
+// races), expires on TTL and evicts in LRU order; the protocol layer
+// rejects truncated and oversized frames with explicit errors; and the
+// daemon proper serves 8 concurrent loopback clients, answers a
+// deadlocked design with a DEADLOCK verdict + post-mortem instead of
+// wedging a worker, surfaces a non-zero hit rate via `status`, and
+// drains cleanly on `shutdown`.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "liplib/graph/netlist_io.hpp"
+#include "liplib/serve/cache.hpp"
+#include "liplib/serve/protocol.hpp"
+#include "liplib/serve/server.hpp"
+#include "liplib/support/check.hpp"
+#include "liplib/support/json.hpp"
+
+namespace {
+
+using namespace liplib;
+using namespace liplib::serve;
+
+const char* kFig1 = R"(source src
+process A 1 2
+process B 1 1
+process C 2 1
+sink out
+channel src.0 -> A.0
+channel A.0 -> B.0 : F
+channel B.0 -> C.0 : F
+channel A.1 -> C.1 : F
+channel C.0 -> out.0
+)";
+
+// The paper's latent stop latch: a two-shell ring of half stations
+// deadlocks under worst-case occupancy.
+const char* kHalfRing = R"(process P 1 1
+process Q 1 1
+channel P.0 -> Q.0 : H
+channel Q.0 -> P.0 : H
+)";
+
+std::string request_json(const char* kind, const char* netlist,
+                         const char* extra = "") {
+  Json r = Json::object().set("rpc", kRpcSchema).set("kind", kind);
+  if (netlist) r.set("netlist", netlist);
+  std::string s = r.dump();
+  if (*extra) {
+    s.pop_back();
+    s += ",";
+    s += extra;
+    s += "}";
+  }
+  return s;
+}
+
+// ---- content hashing ----------------------------------------------------
+
+TEST(Cache, TopologyHashIsContentAddressed) {
+  const auto a = graph::parse_netlist_string(kFig1);
+  // Same design, different formatting and comments.
+  const std::string reformatted = std::string("# a comment\n") + kFig1;
+  const auto b = graph::parse_netlist_string(reformatted);
+  EXPECT_EQ(topology_hash(a), topology_hash(b));
+
+  // A changed station kind is a different content address.
+  auto c = graph::parse_netlist_string(
+      std::string(kFig1).replace(std::string(kFig1).find(": F"), 3, ": H"));
+  EXPECT_NE(topology_hash(a), topology_hash(c));
+}
+
+// ---- TTL ----------------------------------------------------------------
+
+TEST(Cache, TtlExpiryWithInjectedClock) {
+  std::uint64_t now = 1000;
+  CacheOptions opts;
+  opts.ttl_ms = 50;
+  ResultCache cache(opts, [&now] { return now; });
+
+  cache.insert("k", "v");
+  EXPECT_TRUE(cache.lookup("k").has_value());
+
+  now += 49;  // one tick before the deadline: still alive
+  EXPECT_TRUE(cache.lookup("k").has_value());
+
+  now += 1;  // TTL elapsed: explicit expiration, counted as a miss too
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.expirations, 1u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+}
+
+TEST(Cache, TtlZeroNeverExpires) {
+  std::uint64_t now = 0;
+  CacheOptions opts;
+  opts.ttl_ms = 0;
+  ResultCache cache(opts, [&now] { return now; });
+  cache.insert("k", "v");
+  now = ~0ull;
+  EXPECT_TRUE(cache.lookup("k").has_value());
+}
+
+// ---- LRU ----------------------------------------------------------------
+
+TEST(Cache, LruEvictsColdestFirstAndLookupRefreshes) {
+  CacheOptions opts;
+  opts.ttl_ms = 0;
+  // Room for three two-byte entries (key 1 + value 1), not four.
+  opts.capacity_bytes = 6;
+  ResultCache cache(opts);
+
+  cache.insert("a", "1");
+  cache.insert("b", "2");
+  cache.insert("c", "3");
+  // Touch "a": now "b" is the coldest.
+  EXPECT_TRUE(cache.lookup("a").has_value());
+
+  cache.insert("d", "4");  // evicts exactly "b"
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_TRUE(cache.lookup("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // Overwriting a key replaces the entry instead of duplicating it.
+  cache.insert("d", "5");
+  EXPECT_EQ(cache.lookup("d").value(), "5");
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(Cache, OversizedEntrySurvivesUntilNextInsert) {
+  CacheOptions opts;
+  opts.ttl_ms = 0;
+  opts.capacity_bytes = 4;
+  ResultCache cache(opts);
+  cache.insert("big", std::string(100, 'x'));  // alone beyond the budget
+  EXPECT_TRUE(cache.lookup("big").has_value());
+  cache.insert("k", "v");
+  EXPECT_FALSE(cache.lookup("big").has_value());
+}
+
+// ---- concurrent hit/miss races ------------------------------------------
+
+TEST(Cache, ConcurrentHitMissRacesUnderEightThreads) {
+  CacheOptions opts;
+  opts.ttl_ms = 0;
+  opts.capacity_bytes = 1 << 10;  // small: eviction races included
+  ResultCache cache(opts);
+
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &served, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 16);
+        auto hit = cache.lookup(key);
+        if (!hit) {
+          cache.insert(key, "value-of-" + key);
+        } else {
+          EXPECT_EQ(*hit, "value-of-" + key);
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, served.load());
+  EXPECT_EQ(s.hits + s.misses, 8u * 500u);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_LE(s.bytes, opts.capacity_bytes);
+}
+
+// ---- framing ------------------------------------------------------------
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Protocol, FrameRoundTrip) {
+  SocketPair sp;
+  write_frame(sp.a, "hello");
+  write_frame(sp.a, "");
+  std::string got;
+  ASSERT_TRUE(read_frame(sp.b, got));
+  EXPECT_EQ(got, "hello");
+  ASSERT_TRUE(read_frame(sp.b, got));
+  EXPECT_EQ(got, "");
+  ::close(sp.a);
+  sp.a = -1;
+  EXPECT_FALSE(read_frame(sp.b, got));  // clean EOF on the boundary
+}
+
+TEST(Protocol, TruncatedFrameIsAnExplicitError) {
+  {
+    SocketPair sp;
+    const std::string frame = encode_frame("payload");
+    // Cut inside the payload.
+    ASSERT_GT(::send(sp.a, frame.data(), frame.size() - 3, MSG_NOSIGNAL), 0);
+    ::close(sp.a);
+    sp.a = -1;
+    std::string got;
+    try {
+      read_frame(sp.b, got);
+      FAIL() << "expected truncation error";
+    } catch (const ApiError& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated frame"),
+                std::string::npos);
+    }
+  }
+  {
+    SocketPair sp;
+    // Cut inside the length prefix.
+    ASSERT_GT(::send(sp.a, "\x00\x00", 2, MSG_NOSIGNAL), 0);
+    ::close(sp.a);
+    sp.a = -1;
+    std::string got;
+    EXPECT_THROW(read_frame(sp.b, got), ApiError);
+  }
+}
+
+TEST(Protocol, OversizedFrameIsRejectedBeforeAllocation) {
+  SocketPair sp;
+  // Declare a 1 GiB payload; the limit must trip on the header alone.
+  const char hdr[4] = {0x40, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::send(sp.a, hdr, 4, MSG_NOSIGNAL), 4);
+  FrameLimits limits;
+  limits.max_frame_bytes = 1 << 20;
+  std::string got;
+  try {
+    read_frame(sp.b, got, limits);
+    FAIL() << "expected frame-length error";
+  } catch (const ApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the limit"),
+              std::string::npos);
+  }
+}
+
+// ---- request validation -------------------------------------------------
+
+TEST(Protocol, RequestValidation) {
+  EXPECT_THROW(parse_request(Json::parse("[1,2]")), ApiError);
+  EXPECT_THROW(parse_request(Json::parse("{\"kind\":\"lint\"}")),
+               ApiError);  // missing rpc tag
+  EXPECT_THROW(
+      parse_request(Json::parse(request_json("frobnicate", nullptr))),
+      ApiError);
+  EXPECT_THROW(parse_request(Json::parse(request_json("lint", nullptr))),
+               ApiError);  // netlist required
+  EXPECT_THROW(parse_request(Json::parse(request_json(
+                   "campaign", nullptr, "\"mode\":\"fuzz\",\"jobs\":0"))),
+               ApiError);  // jobs out of range
+  EXPECT_THROW(parse_request(Json::parse(request_json(
+                   "screen", "x", "\"policy\":\"bogus\""))),
+               ApiError);
+
+  const auto req = parse_request(Json::parse(request_json(
+      "screen", kHalfRing, "\"policy\":\"strict\",\"budget\":4096")));
+  EXPECT_EQ(req.kind, RequestKind::kScreen);
+  EXPECT_EQ(req.policy, "strict");
+  EXPECT_EQ(req.budget, 4096u);
+}
+
+// ---- dispatch: cached vs fresh byte identity ----------------------------
+
+/// Extracts the raw bytes of the "result" member and the "cached" flag
+/// from a response payload.
+void split_response(const std::string& payload, std::string* result,
+                    bool* cached, bool* ok) {
+  const Json doc = Json::parse(payload);
+  ASSERT_TRUE(doc.find("ok") != nullptr) << payload;
+  *ok = doc.find("ok")->as_bool();
+  if (const Json* c = doc.find("cached")) *cached = c->as_bool();
+  if (const Json* r = doc.find("result")) *result = r->dump();
+}
+
+TEST(Handlers, LintCachedResponseIsByteIdenticalToFresh) {
+  ServeContext ctx;
+  const std::string req = request_json("lint", kFig1);
+  const std::string first = handle_payload(req, ctx);
+  const std::string second = handle_payload(req, ctx);
+
+  std::string r1, r2;
+  bool c1 = false, c2 = false, ok1 = false, ok2 = false;
+  split_response(first, &r1, &c1, &ok1);
+  split_response(second, &r2, &c2, &ok2);
+  ASSERT_TRUE(ok1 && ok2);
+  EXPECT_FALSE(c1);
+  EXPECT_TRUE(c2);
+  EXPECT_EQ(r1, r2);  // byte-identical result documents
+  EXPECT_EQ(ctx.cache.stats().hits, 1u);
+
+  // Same design, different text formatting: still one cache entry.
+  const std::string reformatted =
+      request_json("lint", (std::string("# comment\n\n") + kFig1).c_str());
+  std::string r3;
+  bool c3 = false, ok3 = false;
+  split_response(handle_payload(reformatted, ctx), &r3, &c3, &ok3);
+  EXPECT_TRUE(c3);
+  EXPECT_EQ(r1, r3);
+}
+
+TEST(Handlers, ScreenCachedResponseIsByteIdenticalToFresh) {
+  ServeContext ctx;
+  const std::string req = request_json("screen", kHalfRing);
+  std::string r1, r2;
+  bool c1 = false, c2 = false, ok1 = false, ok2 = false;
+  split_response(handle_payload(req, ctx), &r1, &c1, &ok1);
+  split_response(handle_payload(req, ctx), &r2, &c2, &ok2);
+  ASSERT_TRUE(ok1 && ok2);
+  EXPECT_FALSE(c1);
+  EXPECT_TRUE(c2);
+  EXPECT_EQ(r1, r2);
+
+  // The deadlock verdict rides the cached bytes: both carry the
+  // post-mortem bundle of the worst-case stop latch.
+  const Json result = Json::parse(r1);
+  EXPECT_EQ(result.find("verdict")->as_string(), "deadlock");
+  const Json* worst = result.find("worst_case");
+  ASSERT_NE(worst, nullptr);
+  EXPECT_TRUE(worst->find("deadlock")->as_bool());
+  EXPECT_NE(worst->find("post_mortem"), nullptr);
+  // From reset the latch is unreachable (the paper's observation).
+  EXPECT_FALSE(result.find("from_reset")->find("deadlock")->as_bool());
+  EXPECT_EQ(ctx.status_json()
+                .find("requests")->find("deadlock_verdicts")->as_uint(),
+            1u);
+}
+
+TEST(Handlers, DistinctPoliciesAndBudgetsAreDistinctCacheEntries) {
+  ServeContext ctx;
+  handle_payload(request_json("screen", kFig1), ctx);
+  handle_payload(
+      request_json("screen", kFig1, "\"policy\":\"strict\""), ctx);
+  handle_payload(request_json("screen", kFig1, "\"budget\":8192"), ctx);
+  const auto s = ctx.cache.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(Handlers, MalformedPayloadsBecomeErrorEnvelopes) {
+  ServeContext ctx;
+  for (const char* bad :
+       {"not json at all", "{\"rpc\":\"bogus/9\",\"kind\":\"status\"}",
+        "{\"rpc\":\"liplib.rpc/1\",\"kind\":\"lint\",\"netlist\":\"not a "
+        "netlist\"}"}) {
+    const Json doc = Json::parse(handle_payload(bad, ctx));
+    EXPECT_FALSE(doc.find("ok")->as_bool());
+    EXPECT_FALSE(doc.find("error")->as_string().empty());
+  }
+  // The first two are protocol errors, the last a request error.
+  const Json status = ctx.status_json();
+  EXPECT_EQ(status.find("requests")->find("protocol_errors")->as_uint(), 2u);
+  EXPECT_EQ(status.find("requests")->find("request_errors")->as_uint(), 1u);
+  // Nothing leaks into the inflight gauge.
+  EXPECT_EQ(status.find("inflight")->as_int(), 0);
+}
+
+// ---- the daemon over loopback -------------------------------------------
+
+/// Minimal scripted client: one connection, n sequential requests.
+std::vector<std::string> roundtrip(std::uint16_t port,
+                                   const std::vector<std::string>& requests) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::vector<std::string> responses;
+  for (const auto& r : requests) {
+    write_frame(fd, r);
+    std::string payload;
+    if (!read_frame(fd, payload)) break;
+    responses.push_back(std::move(payload));
+  }
+  ::close(fd);
+  return responses;
+}
+
+TEST(Server, EightConcurrentClientsGetByteIdenticalAnswersAndCacheHits) {
+  ServerOptions opts;
+  opts.port = 0;  // ephemeral
+  Server server(opts);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  // 8 clients x 8 requests over the same two designs: after the first
+  // computation of each key every answer must come from the cache,
+  // byte-identical (modulo the envelope's cached flag).
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::string>> results(8);
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([port = server.port(), t, &results] {
+      std::vector<std::string> reqs;
+      for (int i = 0; i < 8; ++i) {
+        reqs.push_back(request_json(i % 2 ? "screen" : "lint",
+                                    i % 2 ? kHalfRing : kFig1));
+      }
+      const auto responses = roundtrip(port, reqs);
+      for (const auto& p : responses) {
+        const Json doc = Json::parse(p);
+        ASSERT_TRUE(doc.find("ok")->as_bool()) << p;
+        results[static_cast<std::size_t>(t)].push_back(
+            doc.find("result")->dump());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // Every client saw both requests answered; all lint results agree and
+  // all screen results agree, bytewise, across clients.
+  const std::string lint_ref = results[0][0];
+  const std::string screen_ref = results[0][1];
+  for (const auto& per_client : results) {
+    ASSERT_EQ(per_client.size(), 8u);
+    for (std::size_t i = 0; i < per_client.size(); ++i) {
+      EXPECT_EQ(per_client[i], i % 2 ? screen_ref : lint_ref);
+    }
+  }
+  EXPECT_EQ(Json::parse(screen_ref).find("verdict")->as_string(), "deadlock");
+
+  // 64 requests over 2 distinct keys.  The cache does not serialize
+  // concurrent first computations of a key (a deliberate trade: a
+  // stampede costs duplicate work, a per-key lock would stall every
+  // tenant behind the slowest), so each of the 8 clients may miss once
+  // per key; everything else must hit.
+  const auto stats = server.context().cache.stats();
+  EXPECT_GE(stats.hits, 64u - 2u * 8u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // status surfaces the measured hit rate; shutdown drains cleanly.
+  const auto tail = roundtrip(
+      server.port(), {request_json("status", nullptr),
+                      request_json("shutdown", nullptr)});
+  ASSERT_EQ(tail.size(), 2u);
+  const Json status = Json::parse(tail[0]);
+  EXPECT_GE(status.find("result")->find("cache")->find("hits")->as_uint(),
+            64u - 2u * 8u);
+  EXPECT_TRUE(
+      Json::parse(tail[1]).find("result")->find("draining")->as_bool());
+  server.wait();  // returns only after a full drain
+}
+
+TEST(Server, ProtocolViolationGetsAnErrorFrameAndTheConnectionDropped) {
+  ServerOptions opts;
+  opts.port = 0;
+  opts.limits.max_frame_bytes = 1 << 10;
+  Server server(opts);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Declared length beyond the server's limit.
+  const char hdr[4] = {0x01, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::send(fd, hdr, 4, MSG_NOSIGNAL), 4);
+  std::string payload;
+  ASSERT_TRUE(read_frame(fd, payload));
+  const Json doc = Json::parse(payload);
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_NE(doc.find("error")->as_string().find("exceeds the limit"),
+            std::string::npos);
+  EXPECT_FALSE(read_frame(fd, payload));  // server hung up
+  ::close(fd);
+
+  server.shutdown();
+  server.wait();
+}
+
+}  // namespace

@@ -1,10 +1,13 @@
-// Unit tests for the support utilities: rationals, RNG, tables, VCD.
+// Unit tests for the support utilities: rationals, RNG, tables, VCD,
+// JSON parse limits.
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "liplib/support/check.hpp"
+#include "liplib/support/json.hpp"
 #include "liplib/support/rational.hpp"
 #include "liplib/support/rng.hpp"
 #include "liplib/support/table.hpp"
@@ -156,6 +159,56 @@ TEST(Check, MacrosThrowTypedErrors) {
     EXPECT_NE(std::string(e.what()).find("context message"),
               std::string::npos);
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Json, ParseRejectsNestingBeyondMaxDepth) {
+  Json::ParseLimits limits;
+  limits.max_depth = 8;
+  // Exactly at the limit: fine.
+  std::string at(8, '[');
+  at += std::string(8, ']');
+  EXPECT_NO_THROW(Json::parse(at, limits));
+  // One level past it: an explicit, named error, not a stack overflow.
+  std::string over(9, '[');
+  over += std::string(9, ']');
+  try {
+    Json::parse(over, limits);
+    FAIL() << "expected depth error";
+  } catch (const ApiError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper than the limit"),
+              std::string::npos);
+  }
+  // Mixed object/array nesting counts uniformly (9 containers here).
+  EXPECT_THROW(Json::parse("{\"a\":[{\"b\":[{\"c\":[{\"d\":[[1]]}]}]}]}",
+                           limits),
+               ApiError);
+}
+
+TEST(Json, ParseDefaultDepthLimitStopsHostileInput) {
+  // 100k open brackets would previously recurse until the stack died.
+  std::string hostile(100000, '[');
+  EXPECT_THROW(Json::parse(hostile), ApiError);
+}
+
+TEST(Json, ParseRejectsInputBeyondMaxBytes) {
+  Json::ParseLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_NO_THROW(Json::parse("{\"k\":\"0123\"}", limits));
+  try {
+    Json::parse("{\"key\":\"0123456789abcdef\"}", limits);
+    FAIL() << "expected size error";
+  } catch (const ApiError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exceeds the limit"), std::string::npos);
+    EXPECT_NE(what.find("16 bytes"), std::string::npos);
+  }
+}
+
+TEST(Json, ParseTruncatedDocumentsFailWithOffsets) {
+  for (const char* bad : {"{\"k\":", "[1,2", "\"unterminated", "{\"k\" 1}",
+                          "tru", "12e", "{}{}"}) {
+    EXPECT_THROW(Json::parse(bad), ApiError) << bad;
   }
 }
 
