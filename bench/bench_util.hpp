@@ -45,15 +45,21 @@ inline void heading(const std::string& title) {
 /// of measurement records (each an object built by the caller).  This is
 /// the repo's perf-trajectory format: byte-stable field order via
 /// support/json.hpp, one file per bench binary.
-inline void write_bench_json(const std::string& name, Json records) {
+///
+/// `metadata`, when non-null, lands verbatim as a top-level "metadata"
+/// object — benches that compare evaluators record the engine modes
+/// there (e.g. {"engines": [...]}) so perf trajectories distinguish
+/// which engine produced which record.
+inline void write_bench_json(const std::string& name, Json records,
+                             Json metadata = Json()) {
   const std::string path = "BENCH_" + name + ".json";
+  Json doc = Json::object()
+                 .set("schema", "liplib.bench/1")
+                 .set("bench", name)
+                 .set("records", std::move(records));
+  if (!metadata.is_null()) doc.set("metadata", std::move(metadata));
   std::ofstream os(path);
-  os << Json::object()
-            .set("schema", "liplib.bench/1")
-            .set("bench", name)
-            .set("records", std::move(records))
-            .dump(2)
-     << "\n";
+  os << doc.dump(2) << "\n";
   std::cout << "wrote " << path << "\n";
 }
 

@@ -57,6 +57,7 @@
 #include "liplib/support/table.hpp"
 #include "liplib/telemetry/bench_diff.hpp"
 #include "liplib/telemetry/watchdog.hpp"
+#include "liplib/xir/xir.hpp"
 
 using namespace liplib;
 
@@ -84,6 +85,8 @@ structural commands (take a .lid netlist file):
     --postmortem FILE  on trip, write the post-mortem bundle (replayable
                        with `lidtool replay`) to FILE
   screen    <file.lid>          deadlock screening (reset + worst case)
+    --engine interp|compiled|sliced   skeleton evaluator (default interp;
+                       the xir engines are bit-identical, see docs/xir.md)
   cure      <file.lid>          substitute stations until deadlock free
   equalize  <file.lid>          insert spare stations, print new netlist
   flow      <file.lid>          full flow: screen, cure, sign off
@@ -109,6 +112,10 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
   campaign probe <N>            probe-vs-analytic agreement on N random
                                 topologies (measured throughput must equal
                                 the skeleton's exactly)
+  campaign mix <file.lid>       screen random half/full station-kind
+                                variants of one design from worst-case
+                                occupancy; the sliced engine (default)
+                                batches 64 variants per bit-parallel job
   campaign t1                   the EXPERIMENTS.md T1 fuzz pass
                                 (750 randomized runs) on the engine
   campaign options:
@@ -119,6 +126,9 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
     --policy variant|strict|both   stop policy (default both for sweep,
                                    variant for fuzz)
     --shape composite|reconvergent|feedforward   fuzz topology shape
+    --engine interp|compiled|sliced   skeleton evaluator for sweep / fuzz
+                  / mix jobs (default interp; mix defaults to sliced)
+    --variants N  mix: number of kind-variants to screen (default 64)
     --json PATH   write the aggregated report as JSON
     --csv PATH    write per-job results as CSV
 
@@ -149,6 +159,7 @@ serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
            campaign <fuzz|lint|probe> <jobs> | status | shutdown
     --port N       daemon port (default 7177)
     --policy P     variant | strict (screen / campaign)
+    --engine E     interp | compiled | sliced (screen / campaign)
     --budget N     cycle budget (screen / campaign)
     --cycles N     cycles to simulate (profile)
     --seed S       campaign base seed (default 1)
@@ -346,16 +357,17 @@ int cmd_simulate(const graph::Topology& topo,
   return 0;
 }
 
-int cmd_screen(const graph::Topology& topo) {
+int cmd_screen(const graph::Topology& topo,
+               xir::EngineMode engine = xir::EngineMode::kInterp) {
   skeleton::ScreeningOptions reset;
-  const auto a = skeleton::screen_for_deadlock(topo, reset);
+  const auto a = xir::screen_for_deadlock(topo, reset, 1u << 20, engine);
   std::cout << "from reset: "
             << (a.deadlock_found ? "DEADLOCK" : "live, T = " +
                                                     a.min_throughput.str())
             << " (" << a.cycles_simulated << " skeleton cycles)\n";
   skeleton::ScreeningOptions wc;
   wc.worst_case_occupancy = true;
-  const auto b = skeleton::screen_for_deadlock(topo, wc);
+  const auto b = xir::screen_for_deadlock(topo, wc, 1u << 20, engine);
   std::cout << "worst-case occupancy: "
             << (b.deadlock_found ? "DEADLOCK" : "live, T = " +
                                                     b.min_throughput.str())
@@ -368,7 +380,8 @@ int cmd_screen(const graph::Topology& topo) {
                    b.cycles_simulated
             << " (reset " << a.cycles_simulated << " + worst-case "
             << b.cycles_simulated
-            << ") seed=0 (skeleton runs are deterministic) verdict="
+            << ") seed=0 (skeleton runs are deterministic) engine="
+            << xir::engine_mode_name(engine) << " verdict="
             << (bad ? "deadlock" : "live") << "\n";
   return bad ? 1 : 0;
 }
@@ -608,6 +621,12 @@ struct CampaignArgs {
   std::size_t station_lo = 1, station_hi = 4;
   std::vector<lip::StopPolicy> policies;  // empty = command default
   campaign::FuzzSpec::Shape shape = campaign::FuzzSpec::Shape::kComposite;
+  /// Skeleton evaluator for screen/fuzz jobs (xir engines are verdict-
+  /// identical to the interpreter); `eval_set` records an explicit
+  /// --engine so modes with a different default (mix: sliced) keep it.
+  xir::EngineMode eval = xir::EngineMode::kInterp;
+  bool eval_set = false;
+  std::size_t variants = 64;  ///< campaign mix: kind variants to screen
   std::string json_path;
   std::string csv_path;
   std::vector<std::string> positional;
@@ -688,6 +707,16 @@ CampaignArgs parse_campaign_args(int argc, char** argv, int first) {
       } else {
         throw ApiError("unknown fuzz shape '" + v + "'");
       }
+    } else if (a == "--engine") {
+      const std::string v = value("--engine");
+      LIPLIB_EXPECT(xir::parse_engine_mode(v, &args.eval),
+                    "unknown engine '" + v +
+                        "' (expected interp | compiled | sliced)");
+      args.eval_set = true;
+    } else if (a == "--variants") {
+      args.variants = static_cast<std::size_t>(
+          parse_u64(value("--variants"), "--variants"));
+      LIPLIB_EXPECT(args.variants >= 1, "--variants must be at least 1");
     } else if (a == "--json") {
       args.json_path = value("--json");
     } else if (a == "--csv") {
@@ -785,7 +814,7 @@ int cmd_campaign_sweep(const graph::Topology& base, CampaignArgs args) {
       opts.policy = policy;
       jobs.push_back(campaign::make_steady_state_job(
           "sweep/st=" + std::to_string(k) + "/" + policy_label(policy),
-          variant, opts));
+          variant, opts, args.eval));
     }
   }
   return run_campaign_and_report(jobs, args);
@@ -802,6 +831,7 @@ int cmd_campaign_fuzz(std::size_t n, CampaignArgs args) {
     campaign::FuzzSpec spec;
     spec.shape = args.shape;
     spec.policy = args.policies[i % args.policies.size()];
+    spec.engine = args.eval;
     spec.size = 4;
     jobs.push_back(campaign::make_fuzz_job(
         "fuzz/" + std::to_string(i) + "/" + policy_label(spec.policy),
@@ -810,9 +840,27 @@ int cmd_campaign_fuzz(std::size_t n, CampaignArgs args) {
   return run_campaign_and_report(jobs, args);
 }
 
+/// `campaign mix <file.lid>`: screen N random half/full station-kind
+/// variants of one design from worst-case occupancy.  Under the sliced
+/// engine (the default here) the campaign batches 64 variants per job
+/// into one bit-parallel evaluation.
+int cmd_campaign_mix(graph::Topology topo, CampaignArgs args) {
+  campaign::MixScreenSpec spec;
+  spec.topo = std::move(topo);
+  if (!args.policies.empty()) spec.skeleton.policy = args.policies.front();
+  spec.variants = args.variants;
+  spec.engine = args.eval_set ? args.eval : xir::EngineMode::kSliced;
+  std::cout << "screening " << spec.variants
+            << " station-kind variants, engine "
+            << xir::engine_mode_name(spec.engine) << "\n\n";
+  return run_campaign_and_report(campaign::make_mix_screen_campaign(spec),
+                                 args);
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "campaign requires a mode: sweep | fuzz | lint | probe | t1\n"
+    std::cerr << "campaign requires a mode: "
+                 "sweep | fuzz | lint | probe | mix | t1\n"
               << kUsage;
     return 2;
   }
@@ -859,6 +907,19 @@ int cmd_campaign(int argc, char** argv) {
     const std::size_t n =
         static_cast<std::size_t>(parse_u64(args.positional[0], "probe count"));
     return run_campaign_and_report(campaign::make_probe_campaign(n), args);
+  }
+  if (mode == "mix") {
+    if (args.positional.size() != 1) {
+      std::cerr << "campaign mix requires exactly one <file.lid>\n";
+      return 2;
+    }
+    std::ifstream in(args.positional[0]);
+    if (!in) {
+      std::cerr << "cannot open " << args.positional[0] << "\n";
+      return 2;
+    }
+    return cmd_campaign_mix(graph::parse_netlist_annotated(in).topo,
+                            std::move(args));
   }
   if (mode == "t1") {
     std::cout << "EXPERIMENTS.md T1 fuzz pass: 300 random reconvergences "
@@ -936,6 +997,8 @@ int cmd_client(int argc, char** argv) {
       port = static_cast<std::uint16_t>(parse_u64(value("--port"), "--port"));
     } else if (a == "--policy") {
       request.set("policy", value("--policy"));
+    } else if (a == "--engine") {
+      request.set("engine", value("--engine"));
     } else if (a == "--budget") {
       request.set("budget", parse_u64(value("--budget"), "--budget"));
     } else if (a == "--cycles") {
@@ -1151,8 +1214,21 @@ int main(int argc, char** argv) {
       return cmd_simulate(topo, rest);
     }
     if (cmd == "screen") {
-      if (reject_extras("screen")) return 2;
-      return cmd_screen(topo);
+      xir::EngineMode engine = xir::EngineMode::kInterp;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == "--engine") {
+          LIPLIB_EXPECT(i + 1 < rest.size(), "--engine requires a value");
+          const std::string v = rest[++i];
+          LIPLIB_EXPECT(xir::parse_engine_mode(v, &engine),
+                        "unknown engine '" + v +
+                            "' (expected interp | compiled | sliced)");
+        } else {
+          std::cerr << "unknown screen option '" << rest[i] << "'\n\n"
+                    << kUsage;
+          return 2;
+        }
+      }
+      return cmd_screen(topo, engine);
     }
     if (cmd == "cure") {
       if (reject_extras("cure")) return 2;

@@ -61,6 +61,11 @@ struct JobContext {
   std::size_t index = 0;        ///< job index within the campaign
   std::uint64_t seed = 0;       ///< job_seed(base_seed, index)
   std::uint64_t cycle_budget = 0;  ///< max simulation cycles per verdict
+  /// The campaign's base seed.  Jobs that cover a *range* of logical
+  /// work items (e.g. a sliced screen batching 64 variants into one
+  /// evaluation) re-derive each item's stream as job_seed(base_seed,
+  /// item) so the item streams are identical at any batching factor.
+  std::uint64_t base_seed = 0;
 };
 
 /// Structured result of one job.  `seed` always carries the reproducing

@@ -26,19 +26,25 @@
 #include "liplib/lint/lint.hpp"
 #include "liplib/lip/token.hpp"
 #include "liplib/skeleton/skeleton.hpp"
+#include "liplib/xir/xir.hpp"
 
 namespace liplib::campaign {
 
 /// Skeleton deadlock screen of a fixed topology.  Outcome: kLive,
 /// kDeadlock (full deadlock), kStarvation (starved shells), or
 /// kBudgetExhausted when no steady state shows within the cycle budget.
+/// `engine` selects the evaluator (xir engines produce bit-identical
+/// verdicts; kSliced here runs the single scenario in one lane — batched
+/// slicing is make_mix_screen_campaign).
 Job make_screening_job(std::string name, graph::Topology topo,
-                       skeleton::ScreeningOptions opts = {});
+                       skeleton::ScreeningOptions opts = {},
+                       xir::EngineMode engine = xir::EngineMode::kInterp);
 
 /// Skeleton steady-state analysis of a fixed topology: exact throughput,
 /// transient and period.  Outcomes as for screening.
 Job make_steady_state_job(std::string name, graph::Topology topo,
-                          skeleton::SkeletonOptions opts = {});
+                          skeleton::SkeletonOptions opts = {},
+                          xir::EngineMode engine = xir::EngineMode::kInterp);
 
 /// Full-data spot check of a fixed topology: binds default pearls,
 /// measures the steady state on a lip::System and checks latency
@@ -73,6 +79,9 @@ struct FuzzSpec {
   /// Also run the full-data latency-equivalence check (slower; the
   /// skeleton checks alone are nearly free).
   bool check_equivalence = true;
+  /// Evaluator for the skeleton analysis part of the job (the analytic
+  /// cross-checks and the full-data equivalence run are engine-blind).
+  xir::EngineMode engine = xir::EngineMode::kInterp;
 };
 
 /// Randomized-topology fuzz job.  The topology is generated from the
@@ -133,5 +142,35 @@ std::vector<Job> make_probe_campaign(std::size_t n,
 /// against the analytic bounds and latency equivalence (150 jobs) —
 /// 750 runs total.
 std::vector<Job> make_t1_fuzz_campaign();
+
+/// A mass station-kind screening sweep over one topology: `variants`
+/// random half/full mixes (each ~1/3 half, drawn exactly like the T1
+/// pass), all screened for deadlock.
+struct MixScreenSpec {
+  graph::Topology topo;
+  skeleton::SkeletonOptions skeleton;
+  /// Screen from worst-case occupancy (the regime where half-station
+  /// mixes actually diverge; see Skeleton::saturate_stations).
+  bool worst_case_occupancy = true;
+  /// Number of kind-variants to screen.
+  std::size_t variants = 64;
+  xir::EngineMode engine = xir::EngineMode::kSliced;
+};
+
+/// Builds the sweep.  Variant `v`'s kinds are always drawn from
+/// Rng(job_seed(base_seed, v)) — independent of the engine — so the
+/// per-variant verdicts are bit-identical across engines.  Under
+/// kInterp/kCompiled this is one job per variant; under kSliced the
+/// topology is lowered once and the campaign auto-batches 64 variants
+/// per job into a single bit-sliced evaluation (ceil(variants/64)
+/// jobs), each job's detail carrying the per-variant outcome tally.
+std::vector<Job> make_mix_screen_campaign(MixScreenSpec spec);
+
+/// The kind mix a variant index denotes, in the xir program's station
+/// order (channel-major).  Exposed so differential tests can replay one
+/// variant in isolation.
+std::vector<graph::RsKind> mix_screen_variant_kinds(
+    const graph::Topology& topo, std::uint64_t base_seed,
+    std::uint64_t variant);
 
 }  // namespace liplib::campaign

@@ -72,6 +72,10 @@ struct Request {
   Json id;                   ///< echoed verbatim in the response (null ok)
   std::string netlist;       ///< lint / screen / profile: .lid text
   std::string policy = "variant";  ///< screen / profile: variant | strict
+  /// screen / campaign: skeleton evaluator, interp | compiled | sliced
+  /// (xir::EngineMode; verdicts are bit-identical across engines, so the
+  /// engine is a performance knob that still keys the cache separately).
+  std::string engine = "interp";
   std::uint64_t budget = 0;  ///< screen: watchdog cycle budget; 0 = default
   std::uint64_t cycles = 0;  ///< profile: cycles to simulate; 0 = default
   std::string mode = "fuzz";  ///< campaign: fuzz | lint | probe

@@ -86,6 +86,11 @@ struct ServeContext {
   metrics::Counter protocol_errors;      ///< malformed frames / requests
   metrics::Counter request_errors;       ///< well-formed requests that failed
   metrics::Counter deadlock_verdicts;    ///< watchdog-tripped answers
+  /// Cache hits/misses of engine-keyed requests (screen / campaign),
+  /// indexed by xir::EngineMode — the per-engine traffic split of the
+  /// status document.
+  metrics::Counter engine_hits[3];
+  metrics::Counter engine_misses[3];
   metrics::Gauge inflight;               ///< requests being computed now
 
   std::atomic<bool> draining{false};  ///< set by a shutdown request

@@ -42,6 +42,9 @@ class System;
 namespace liplib::skeleton {
 class Skeleton;
 }  // namespace liplib::skeleton
+namespace liplib::xir {
+class ScalarEngine;
+}  // namespace liplib::xir
 
 namespace liplib::telemetry {
 
@@ -135,6 +138,7 @@ class Watchdog final : public probe::CycleObserver {
   /// simplified shells only.
   void attach(lip::System& sys);
   void attach(skeleton::Skeleton& sk);
+  void attach(xir::ScalarEngine& eng);
 
   /// The internally-owned probe (valid after attach); exposes report()
   /// for callers that want the measurement alongside the verdict.
@@ -201,6 +205,8 @@ struct GuardedRun {
 GuardedRun run_guarded(lip::System& sys, Watchdog& dog,
                        std::uint64_t max_cycles);
 GuardedRun run_guarded(skeleton::Skeleton& sk, Watchdog& dog,
+                       std::uint64_t max_cycles);
+GuardedRun run_guarded(xir::ScalarEngine& eng, Watchdog& dog,
                        std::uint64_t max_cycles);
 
 /// Reconstructs the design from a bundle (netlist + protocol config +

@@ -1,0 +1,142 @@
+// liplib/xir/sliced.hpp
+//
+// The bit-sliced evaluator: 64 independent scenarios of one lowered
+// program packed into each machine word.
+//
+// Every protocol wire of the skeleton is a boolean, so a scenario's
+// whole control state is a bit position.  SlicedEngine keeps one
+// uint64_t "bitplane" per segment wire and per station state bit; a
+// single settle pass then advances 64 scenarios at once with plain word
+// ops.  Lanes are fully independent: all updates are lane-wise boolean
+// functions, so lane i of a 64-lane run is bit-identical to a 1-lane
+// run (and to the interpreter) — the differential suite asserts it.
+//
+// What may differ per lane: relay-station kinds (full/half per lane via
+// a per-station lane mask — 64 netlist variants of one topology per
+// pass) and initial occupancy (saturate_stations takes a lane mask).
+// What is shared: the topology shape, the stop policy/resolution and
+// sink patterns.  Lane divergence in *time* (one lane reaches its
+// steady state early) is handled in analyze() by per-lane rho
+// detection: finished lanes simply keep stepping — their state is
+// periodic, so the extra work is wasted but harmless — until every
+// lane has an answer or the budget runs out.
+//
+// See docs/xir.md for the exact masked-settle semantics.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liplib/xir/xir.hpp"
+
+namespace liplib::xir {
+
+/// 64 scenarios per word: one uint64_t bitplane per wire/state bit.
+class SlicedEngine {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  /// `num_lanes` in [1, 64]: how many lanes carry live scenarios (all 64
+  /// planes are computed regardless; the tail lanes just mirror the base
+  /// program and are never reported).
+  explicit SlicedEngine(ProgramRef program, std::size_t num_lanes = kLanes);
+  SlicedEngine(const graph::Topology& topo, skeleton::SkeletonOptions opts,
+               std::size_t num_lanes = kLanes);
+
+  const Program& program() const { return *prog_; }
+  std::size_t num_lanes() const { return num_lanes_; }
+
+  /// Overrides the relay-station kinds of one lane.  `kinds` is in the
+  /// program's station order (channel-major, producer-side first — the
+  /// flattening of Channel::stations over channels in id order).  Must
+  /// be called before the first step().
+  void set_station_kinds(std::size_t lane,
+                         const std::vector<graph::RsKind>& kinds);
+
+  /// Sink stop patterns are shared by all lanes (the environment is part
+  /// of the scenario batch's common harness).
+  void set_sink_pattern(graph::NodeId node, std::vector<bool> pattern);
+
+  /// Worst-case-occupancy injection on the lanes set in `lane_mask`
+  /// (bit i = lane i); see Skeleton::saturate_stations.
+  void saturate_stations(std::uint64_t lane_mask);
+
+  void step();
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) step();
+  }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Firings of a process node in one lane so far.
+  std::uint64_t fires(std::size_t lane, graph::NodeId process) const;
+
+  /// One lane's protocol state, byte-identical to ScalarEngine::
+  /// state_signature() for the equivalent scalar run (same layout, so
+  /// repeat cycles — and thus verdicts — match the interpreter's too).
+  std::string lane_signature(std::size_t lane) const;
+
+  struct LaneOutcome {
+    skeleton::SkeletonResult result;
+    /// Cycles simulated for this lane's verdict: transient + period on
+    /// detection, max_cycles + 1 when no period was found — exactly
+    /// Skeleton::cycle() after a scalar analyze().
+    std::uint64_t cycles = 0;
+  };
+
+  /// Per-lane rho detection over all live lanes; one batched pass of the
+  /// protocol dynamics serves every lane.  Verdicts are bit-identical to
+  /// running each lane's scenario through the interpreter alone.
+  std::vector<LaneOutcome> analyze(std::uint64_t max_cycles = 1u << 20,
+                                   std::uint64_t env_period = 1);
+
+ private:
+  void refresh_schedule();
+  std::uint64_t shell_ready_word(std::size_t k) const;
+  void settle_stops();
+  void settle_station(std::size_t s);
+  void settle_shell(std::size_t k);
+  void step_stations();
+
+  ProgramRef prog_;
+  std::size_t num_lanes_ = kLanes;
+  std::uint64_t live_mask_ = ~0ull;  ///< bits [0, num_lanes)
+  std::uint64_t cycle_ = 0;
+  bool schedule_dirty_ = false;
+  SettleSchedule schedule_;  ///< for the union of per-lane dynamic sets
+
+  // Bitplanes: bit i = lane i.
+  std::vector<std::uint64_t> fwd_w_;      ///< per segment
+  std::vector<std::uint64_t> stop_w_;     ///< per segment
+  std::vector<std::uint64_t> half_mask_;  ///< per station: lane is kHalf
+  std::vector<std::uint64_t> occ1_;       ///< per station: occ >= 1
+  std::vector<std::uint64_t> occ2_;       ///< per station: occ == 2
+  std::vector<std::uint64_t> v0_;
+  std::vector<std::uint64_t> v1_;
+  std::vector<std::uint64_t> stop_reg_;
+  std::vector<std::uint64_t> pend_w_;     ///< per shell out branch
+  std::vector<std::uint64_t> src_pend_w_; ///< per source branch
+  std::vector<std::uint64_t> fires_;      ///< [shell * 64 + lane]
+  std::vector<std::vector<std::uint8_t>> sink_pattern_;  ///< per sink
+};
+
+/// One station-kind scenario of a batched screen.
+struct VariantSpec {
+  /// Station kinds in program order (channel-major); empty = the base
+  /// topology's kinds unchanged.
+  std::vector<graph::RsKind> kinds;
+  bool worst_case_occupancy = false;
+};
+
+/// Screens up to 64 kind-variants of one topology in a single sliced
+/// evaluation: the topology is lowered once, each variant occupies one
+/// lane, and one batched analyze() yields every verdict.  Verdicts are
+/// bit-identical to skeleton::screen_for_deadlock on the equivalent
+/// per-variant topologies.
+std::vector<skeleton::ScreeningVerdict> screen_variants(
+    const graph::Topology& topo, const std::vector<VariantSpec>& variants,
+    skeleton::SkeletonOptions opts = {}, std::uint64_t max_cycles = 1u << 20);
+
+}  // namespace liplib::xir

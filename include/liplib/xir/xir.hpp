@@ -1,0 +1,236 @@
+// liplib/xir/xir.hpp
+//
+// liplib::xir — the compiled skeleton substrate.
+//
+// The interpreted skeleton (skeleton::Skeleton) walks graph::Topology
+// node objects every cycle: nested vectors of ports, branch lists and
+// station structs, re-discovered sweep after sweep.  xir lowers a
+// topology ONCE into a flattened CSR/arena IR — plain index arrays, no
+// per-node heap objects — and runs two evaluators over it:
+//
+//  - ScalarEngine: a compiled scalar evaluator, bit-exact against the
+//    interpreter.  The stop network is settled by straight-line sweeps
+//    over the CSR arrays in a precomputed dependency order: every stop
+//    producer outside a combinational cycle is evaluated exactly once
+//    per cycle (Kahn topological order over the stop-dependency graph);
+//    only the cyclic remainder — half stations and shells on
+//    combinational stop loops, the paper's hazard case — iterates to
+//    the fixpoint.  Because the stop system is monotone from its
+//    pessimistic (all-1) or optimistic (all-0) start, the ordered
+//    single pass and the interpreter's repeated sweeps converge to the
+//    identical extreme fixpoint.
+//
+//  - SlicedEngine (xir/sliced.hpp): a bit-sliced evaluator packing 64
+//    independent scenarios of one lowered program into each machine
+//    word — 64 station-kind variants or screening scenarios settled per
+//    pass, lane divergence handled by masked updates.
+//
+// Engine selection for screening flows (campaign jobs, serve requests,
+// lidtool) is the EngineMode enum below; screen_for_deadlock here is
+// the drop-in dispatching twin of skeleton::screen_for_deadlock.
+//
+// See docs/xir.md for the IR layout and lowering rules.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liplib/graph/topology.hpp"
+#include "liplib/skeleton/skeleton.hpp"
+
+namespace liplib::probe {
+class Probe;
+struct Wiring;
+}  // namespace liplib::probe
+
+namespace liplib::xir {
+
+/// Which evaluator screens a design.
+enum class EngineMode : std::uint8_t {
+  kInterp = 0,    ///< the interpreted skeleton (skeleton::Skeleton)
+  kCompiled = 1,  ///< xir::ScalarEngine (compiled straight-line sweeps)
+  kSliced = 2,    ///< xir::SlicedEngine (64 scenarios per machine word)
+};
+
+/// Stable lower-case wire/CLI name ("interp", "compiled", "sliced").
+const char* engine_mode_name(EngineMode m);
+
+/// Inverse of engine_mode_name; returns false on an unknown name.
+bool parse_engine_mode(std::string_view name, EngineMode* out);
+
+/// The settle schedule of a lowered program: the stop producers that can
+/// be evaluated exactly once in dependency order, and the combinational
+/// remainder that must iterate.  Unit ids: u < num_stations is station
+/// u; otherwise shell (u - num_stations).
+struct SettleSchedule {
+  std::vector<std::uint32_t> order;    ///< acyclic units, consumers first
+  std::vector<std::uint32_t> iterate;  ///< units on/behind stop cycles
+};
+
+/// The flattened IR: one topology lowered into CSR index arrays.  All
+/// layout conventions match the interpreter exactly (segments laid out
+/// channel by channel, hop by hop; stations in channel-major order;
+/// shell branch lists port-major with branches appended in channel-id
+/// order), so unit indices are interchangeable between the engines, the
+/// interpreter and probe::Wiring.
+///
+/// Lowering requires the paper's simplified shell
+/// (SkeletonOptions::input_queue_depth == 0); queued shells stay on the
+/// interpreter.
+struct Program {
+  graph::Topology topo;
+  skeleton::SkeletonOptions opts;
+  bool strict = false;       ///< StopPolicy::kCarloniStrict
+  bool pessimistic = true;   ///< StopResolution::kPessimistic
+
+  std::size_t num_segments = 0;
+
+  // Stations, channel-major order.
+  std::vector<std::uint32_t> st_in;    ///< upstream segment
+  std::vector<std::uint32_t> st_out;   ///< downstream segment
+  std::vector<std::uint8_t> st_half;   ///< base kind: 1 = RsKind::kHalf
+
+  // Shells (process nodes), node-id order.
+  std::vector<graph::NodeId> shell_node;
+  std::vector<std::uint32_t> shell_in_begin;  ///< size shells+1
+  std::vector<std::uint32_t> shell_in_seg;    ///< input segment per port
+  std::vector<std::uint32_t> shell_br_begin;  ///< size shells+1
+  std::vector<std::uint32_t> shell_br_seg;    ///< out branch segments
+  /// Port boundaries inside the branch list (size = total out ports + 1,
+  /// indexed via shell_port_begin); kept for probe wiring replay.
+  std::vector<std::uint32_t> shell_port_begin;  ///< size shells+1
+  std::vector<std::uint32_t> port_br_begin;     ///< per port, +1 sentinel
+
+  // Sources and sinks, node-id order.
+  std::vector<graph::NodeId> src_node;
+  std::vector<std::uint32_t> src_br_begin;  ///< size sources+1
+  std::vector<std::uint32_t> src_br_seg;
+  std::vector<graph::NodeId> sink_node;
+  std::vector<std::uint32_t> sink_seg;
+
+  /// NodeId -> dense per-kind index (shell/source/sink), or npos.
+  std::vector<std::size_t> node_index;
+
+  /// Base settle schedule (computed from st_half; a SlicedEngine whose
+  /// lanes upgrade stations to half builds its own).
+  SettleSchedule schedule;
+
+  std::size_t num_stations() const { return st_in.size(); }
+  std::size_t num_shells() const { return shell_node.size(); }
+  std::size_t num_sources() const { return src_node.size(); }
+  std::size_t num_sinks() const { return sink_node.size(); }
+};
+
+using ProgramRef = std::shared_ptr<const Program>;
+
+/// Lowers a topology into the flattened IR.  Validates the topology the
+/// same way the interpreter's constructor does and throws ApiError on
+/// structural errors or input_queue_depth != 0.
+ProgramRef lower(const graph::Topology& topo,
+                 skeleton::SkeletonOptions opts = {});
+
+/// Builds a settle schedule for a given dynamic-station set (1 = the
+/// station's stop output is combinational, i.e. half in at least one
+/// lane).  Shells are always dynamic.
+SettleSchedule build_settle_schedule(
+    const Program& p, const std::vector<std::uint8_t>& station_dynamic);
+
+/// The compiled scalar engine.  Public surface mirrors
+/// skeleton::Skeleton; dynamics, verdicts and probe observations are
+/// bit-exact against it (the differential suite in tests/xir_test.cpp
+/// holds the two together over 300 random topologies).
+class ScalarEngine {
+ public:
+  explicit ScalarEngine(ProgramRef program);
+  /// Convenience: lower + construct in one step.
+  ScalarEngine(const graph::Topology& topo,
+               skeleton::SkeletonOptions opts = {});
+
+  const Program& program() const { return *prog_; }
+
+  /// See Skeleton::set_sink_pattern.
+  void set_sink_pattern(graph::NodeId node, std::vector<bool> pattern);
+
+  /// See Skeleton::saturate_stations.
+  void saturate_stations();
+
+  void step();
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) step();
+  }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Firings of a process node so far.
+  std::uint64_t fires(graph::NodeId process) const;
+
+  /// Serialized protocol state for rho detection.  Injective over the
+  /// same state the interpreter serializes (different byte layout, so
+  /// signatures are not interchangeable between engines — repeat cycles
+  /// are).
+  std::string state_signature() const;
+
+  /// See Skeleton::analyze; verdicts are bit-identical.
+  skeleton::SkeletonResult analyze(std::uint64_t max_cycles = 1u << 20,
+                                   std::uint64_t env_period = 1);
+
+  /// Attaches a probe through the same Wiring contract as the
+  /// interpreter (and thereby the telemetry watchdog, which rides the
+  /// probe's CycleObserver hook).  Must be called before the first
+  /// step() on an unbound probe.
+  void attach_probe(probe::Probe& probe);
+
+ private:
+  bool shell_ready(std::size_t k) const;
+  void settle_stops();
+  void eval_settle_unit(std::uint32_t unit);
+  bool eval_settle_unit_changed(std::uint32_t unit);
+  void observe_probe();
+
+  ProgramRef prog_;
+  probe::Probe* probe_ = nullptr;
+  std::uint64_t cycle_ = 0;
+
+  // Arena state: plain byte arrays indexed by the program's CSR ids.
+  std::vector<std::uint8_t> fwd_;        ///< per segment
+  std::vector<std::uint8_t> stop_;       ///< per segment
+  std::vector<std::uint8_t> st_occ_;     ///< per station: 0, 1, 2
+  std::vector<std::uint8_t> st_v0_;
+  std::vector<std::uint8_t> st_v1_;
+  std::vector<std::uint8_t> st_stop_reg_;
+  std::vector<std::uint8_t> pend_;       ///< per shell out branch
+  std::vector<std::uint8_t> src_pend_;   ///< per source branch
+  std::vector<std::uint64_t> fire_count_;  ///< per shell
+  std::vector<std::vector<std::uint8_t>> sink_pattern_;  ///< per sink
+};
+
+/// Engine-dispatching twin of skeleton::screen_for_deadlock: identical
+/// verdicts from any engine.  kSliced runs the single scenario in lane
+/// 0 of a one-lane sliced evaluation (batched sliced screening lives in
+/// xir/sliced.hpp and campaign::make_mix_screen_campaign).
+skeleton::ScreeningVerdict screen_for_deadlock(
+    const graph::Topology& topo, skeleton::ScreeningOptions opts = {},
+    std::uint64_t max_cycles = 1u << 20,
+    EngineMode engine = EngineMode::kCompiled);
+
+/// Steady-state analysis via a selected engine; result plus the cycles
+/// actually simulated (== Skeleton::cycle() after analyze()).
+struct AnalyzeOutcome {
+  skeleton::SkeletonResult result;
+  std::uint64_t cycles = 0;
+};
+AnalyzeOutcome analyze_with_engine(const graph::Topology& topo,
+                                   skeleton::SkeletonOptions opts,
+                                   std::uint64_t max_cycles,
+                                   EngineMode engine,
+                                   bool worst_case_occupancy = false);
+
+/// Builds the probe::Wiring of a lowered program (the same wiring the
+/// interpreter builds in Skeleton::attach_probe).
+void build_probe_wiring(const Program& p, probe::Wiring* out);
+
+}  // namespace liplib::xir

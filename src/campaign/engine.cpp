@@ -45,8 +45,10 @@ struct Chunk {
 
 /// One worker's chunk deque.  The owner pops from the front, thieves
 /// pop from the back; a mutex per deque is ample since chunks are
-/// coarse (dozens of simulations) relative to the lock.
-struct WorkDeque {
+/// coarse (dozens of simulations) relative to the lock.  Cache-line
+/// aligned so neighbouring workers' mutexes and cursors never share a
+/// line (deques live in one contiguous vector).
+struct alignas(64) WorkDeque {
   std::mutex m;
   std::deque<Chunk> chunks;
 
@@ -71,6 +73,18 @@ struct WorkDeque {
     for (const auto& c : chunks) n += c.hi - c.lo;
     return n;
   }
+};
+
+/// A per-worker counter on its own cache line: the workers' hot
+/// done-counts must not false-share when they sit in one vector.
+struct alignas(64) PaddedCount {
+  std::size_t value = 0;
+};
+
+/// The shared steal counter, padded on both sides so the atomic's line
+/// is not invalidated by whatever the allocator places around it.
+struct alignas(64) PaddedSteals {
+  std::atomic<std::size_t> value{0};
 };
 
 JobResult run_one(const Job& job, const JobContext& ctx) {
@@ -117,17 +131,18 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
     ctx.index = index;
     ctx.seed = job_seed(opts_.base_seed, index);
     ctx.cycle_budget = opts_.cycle_budget;
+    ctx.base_seed = opts_.base_seed;
     return ctx;
   };
 
-  std::vector<std::size_t> per_worker(threads, 0);
-  std::atomic<std::size_t> steals{0};
+  std::vector<PaddedCount> per_worker(threads);
+  PaddedSteals steals;
 
   if (threads <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       results[i] = run_one(jobs[i], context_for(i));
     }
-    per_worker.assign(1, n);
+    per_worker.assign(1, PaddedCount{n});
   } else {
     // Fixed-size chunks of consecutive indices; auto sizing aims for ~8
     // chunks per worker so stealing still load-balances skewed costs.
@@ -172,7 +187,7 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
         }
         if (victim == threads) break;  // nothing left anywhere
         if (deques[victim].pop_back(c)) {
-          steals.fetch_add(1, std::memory_order_relaxed);
+          steals.value.fetch_add(1, std::memory_order_relaxed);
           for (std::size_t i = c.lo; i < c.hi; ++i) {
             results[i] = run_one(jobs[i], context_for(i));
           }
@@ -181,7 +196,7 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
         // On a failed steal (raced another thief), re-scan; the loop
         // terminates because every scan that finds no work breaks.
       }
-      per_worker[self] = done;
+      per_worker[self].value = done;
     };
 
     std::vector<std::thread> pool;
@@ -195,8 +210,9 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
     stats->wall_seconds =
         std::chrono::duration<double>(t1 - t0).count();
     stats->threads = threads;
-    stats->jobs_per_worker = per_worker;
-    stats->steals = steals.load();
+    stats->jobs_per_worker.clear();
+    for (const auto& w : per_worker) stats->jobs_per_worker.push_back(w.value);
+    stats->steals = steals.value.load();
   }
   return results;
 }

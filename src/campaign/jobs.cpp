@@ -13,6 +13,7 @@
 #include "liplib/pearls/pearls.hpp"
 #include "liplib/probe/probe.hpp"
 #include "liplib/support/rng.hpp"
+#include "liplib/xir/sliced.hpp"
 
 namespace liplib::campaign {
 
@@ -116,22 +117,23 @@ JobResult fuzz_feedforward(const FuzzSpec& spec, Rng& rng,
 }  // namespace
 
 Job make_screening_job(std::string name, graph::Topology topo,
-                       skeleton::ScreeningOptions opts) {
+                       skeleton::ScreeningOptions opts,
+                       xir::EngineMode engine) {
   return Job{std::move(name),
-             [topo = std::move(topo), opts](const JobContext& ctx) {
-               return from_screening(
-                   skeleton::screen_for_deadlock(topo, opts,
-                                                 ctx.cycle_budget));
+             [topo = std::move(topo), opts, engine](const JobContext& ctx) {
+               return from_screening(xir::screen_for_deadlock(
+                   topo, opts, ctx.cycle_budget, engine));
              }};
 }
 
 Job make_steady_state_job(std::string name, graph::Topology topo,
-                          skeleton::SkeletonOptions opts) {
+                          skeleton::SkeletonOptions opts,
+                          xir::EngineMode engine) {
   return Job{std::move(name),
-             [topo = std::move(topo), opts](const JobContext& ctx) {
-               skeleton::Skeleton sk(topo, opts);
-               const auto res = sk.analyze(ctx.cycle_budget);
-               return from_skeleton_result(res, sk.cycle());
+             [topo = std::move(topo), opts, engine](const JobContext& ctx) {
+               const auto out = xir::analyze_with_engine(
+                   topo, opts, ctx.cycle_budget, engine);
+               return from_skeleton_result(out.result, out.cycles);
              }};
 }
 
@@ -192,9 +194,9 @@ JobResult fuzz_reconvergent(const FuzzSpec& spec, Rng& rng,
 
   skeleton::SkeletonOptions sk_opts;
   sk_opts.policy = spec.policy;
-  skeleton::Skeleton sk(gen.topo, sk_opts);
-  const auto res = sk.analyze(budget);
-  JobResult r = from_skeleton_result(res, sk.cycle());
+  const auto out =
+      xir::analyze_with_engine(gen.topo, sk_opts, budget, spec.engine);
+  JobResult r = from_skeleton_result(out.result, out.cycles);
   std::ostringstream shape;
   shape << "reconvergent short=" << short_st << " shells=" << long_shells
         << " per_hop=" << per_hop << " policy=" << policy_name(spec.policy);
@@ -228,9 +230,9 @@ JobResult fuzz_composite(const FuzzSpec& spec, Rng& rng,
 
   skeleton::SkeletonOptions sk_opts;
   sk_opts.policy = spec.policy;
-  skeleton::Skeleton sk(gen.topo, sk_opts);
-  const auto res = sk.analyze(budget);
-  JobResult r = from_skeleton_result(res, sk.cycle());
+  const auto out =
+      xir::analyze_with_engine(gen.topo, sk_opts, budget, spec.engine);
+  JobResult r = from_skeleton_result(out.result, out.cycles);
   if (r.outcome != Outcome::kLive) {
     r.detail += " (composite segments=" + std::to_string(segments) + ")";
     return r;
@@ -275,9 +277,9 @@ JobResult fuzz_feedforward(const FuzzSpec& spec, Rng& rng,
 
   skeleton::SkeletonOptions sk_opts;
   sk_opts.policy = spec.policy;
-  skeleton::Skeleton sk(gen.topo, sk_opts);
-  const auto res = sk.analyze(budget);
-  JobResult r = from_skeleton_result(res, sk.cycle());
+  const auto out =
+      xir::analyze_with_engine(gen.topo, sk_opts, budget, spec.engine);
+  JobResult r = from_skeleton_result(out.result, out.cycles);
   if (r.outcome != Outcome::kLive) {
     r.detail += " (feedforward processes=" + std::to_string(processes) + ")";
     return r;
@@ -501,6 +503,128 @@ std::vector<Job> make_lint_crosscheck_campaign(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     jobs.push_back(
         make_lint_crosscheck_job("lint-xcheck/" + std::to_string(i), spec));
+  }
+  return jobs;
+}
+
+std::vector<graph::RsKind> mix_screen_variant_kinds(
+    const graph::Topology& topo, std::uint64_t base_seed,
+    std::uint64_t variant) {
+  // The same draw order as mix_station_kinds (channel-major — which is
+  // also the xir program's station order), from the variant's own
+  // job_seed stream, so a variant's mix is a pure function of
+  // (base seed, variant index) at any engine or batching factor.
+  Rng rng(job_seed(base_seed, variant));
+  std::vector<graph::RsKind> kinds;
+  kinds.reserve(topo.total_stations());
+  for (graph::ChannelId c = 0; c < topo.channels().size(); ++c) {
+    for (std::size_t i = 0; i < topo.channel(c).num_stations(); ++i) {
+      kinds.push_back(rng.chance(1, 3) ? graph::RsKind::kHalf
+                                       : graph::RsKind::kFull);
+    }
+  }
+  return kinds;
+}
+
+namespace {
+
+graph::Topology with_station_kinds(const graph::Topology& topo,
+                                   const std::vector<graph::RsKind>& kinds) {
+  graph::Topology out = topo;
+  std::size_t next = 0;
+  for (graph::ChannelId c = 0; c < out.channels().size(); ++c) {
+    for (auto& kind : out.channel_mut(c).stations) kind = kinds[next++];
+  }
+  return out;
+}
+
+/// Severity order for folding a batch of screening verdicts into one
+/// job outcome (worst lane wins).
+int screen_severity(Outcome o) {
+  switch (o) {
+    case Outcome::kBudgetExhausted: return 3;
+    case Outcome::kDeadlock: return 2;
+    case Outcome::kStarvation: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<Job> make_mix_screen_campaign(MixScreenSpec spec) {
+  std::vector<Job> jobs;
+  skeleton::ScreeningOptions screen;
+  screen.skeleton = spec.skeleton;
+  screen.worst_case_occupancy = spec.worst_case_occupancy;
+
+  if (spec.engine != xir::EngineMode::kSliced) {
+    // One job per variant; job index == variant index.
+    jobs.reserve(spec.variants);
+    for (std::size_t v = 0; v < spec.variants; ++v) {
+      jobs.push_back(Job{
+          "mix-screen/" + std::to_string(v),
+          [topo = spec.topo, screen, engine = spec.engine](
+              const JobContext& ctx) {
+            const auto kinds =
+                mix_screen_variant_kinds(topo, ctx.base_seed, ctx.index);
+            return from_screening(xir::screen_for_deadlock(
+                with_station_kinds(topo, kinds), screen, ctx.cycle_budget,
+                engine));
+          }});
+    }
+    return jobs;
+  }
+
+  // Sliced: 64 variants ride one lowered program and one evaluation.
+  const std::size_t per_job = xir::SlicedEngine::kLanes;
+  const std::size_t num_jobs = (spec.variants + per_job - 1) / per_job;
+  jobs.reserve(num_jobs);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    const std::size_t lo = j * per_job;
+    const std::size_t hi = std::min(spec.variants, lo + per_job);
+    jobs.push_back(Job{
+        "mix-screen/" + std::to_string(lo) + ".." + std::to_string(hi - 1),
+        [topo = spec.topo, screen, lo, hi](const JobContext& ctx) {
+          std::vector<xir::VariantSpec> variants(hi - lo);
+          for (std::size_t v = lo; v < hi; ++v) {
+            variants[v - lo].kinds =
+                mix_screen_variant_kinds(topo, ctx.base_seed, v);
+            variants[v - lo].worst_case_occupancy =
+                screen.worst_case_occupancy;
+          }
+          const auto verdicts = xir::screen_variants(
+              topo, variants, screen.skeleton, ctx.cycle_budget);
+          // Fold the batch: worst outcome, summed cycles, min
+          // throughput; detail tallies every lane.
+          JobResult r;
+          r.outcome = Outcome::kLive;
+          r.has_throughput = true;
+          r.throughput = Rational(1);
+          std::map<std::string, std::size_t> tally;
+          for (const auto& v : verdicts) {
+            const JobResult one = from_screening(v);
+            ++tally[outcome_name(one.outcome)];
+            r.cycles += one.cycles;
+            if (screen_severity(one.outcome) > screen_severity(r.outcome)) {
+              r.outcome = one.outcome;
+            }
+            if (!one.has_throughput) {
+              r.has_throughput = false;
+            } else {
+              if (one.throughput < r.throughput) r.throughput = one.throughput;
+              if (one.transient > r.transient) r.transient = one.transient;
+              if (one.period > r.period) r.period = one.period;
+            }
+          }
+          if (!r.has_throughput) r.throughput = Rational(0);
+          std::ostringstream os;
+          os << "variants " << lo << ".." << (hi - 1) << ":";
+          for (const auto& [name, count] : tally) {
+            os << ' ' << name << '=' << count;
+          }
+          r.detail = os.str();
+          return r;
+        }});
   }
   return jobs;
 }

@@ -16,6 +16,7 @@
 #include "liplib/serve/server.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/telemetry/watchdog.hpp"
+#include "liplib/xir/xir.hpp"
 
 namespace liplib::serve {
 
@@ -34,11 +35,19 @@ Json ServeContext::status_json() {
   requests.set("protocol_errors", protocol_errors.value())
       .set("request_errors", request_errors.value())
       .set("deadlock_verdicts", deadlock_verdicts.value());
+  Json engines = Json::object();
+  for (int e = 0; e < 3; ++e) {
+    engines.set(xir::engine_mode_name(static_cast<xir::EngineMode>(e)),
+                Json::object()
+                    .set("hits", engine_hits[e].value())
+                    .set("misses", engine_misses[e].value()));
+  }
   return Json::object()
       .set("schema", "liplib.serve.status/1")
       .set("draining", draining.load())
       .set("inflight", static_cast<std::int64_t>(inflight.value()))
       .set("requests", std::move(requests))
+      .set("engines", std::move(engines))
       .set("cache", cache.stats_json())
       .set("config",
            Json::object()
@@ -66,6 +75,13 @@ std::string hex64(std::uint64_t v) {
 lip::StopPolicy policy_of(const Request& req) {
   return req.policy == "strict" ? lip::StopPolicy::kCarloniStrict
                                 : lip::StopPolicy::kCasuDiscardOnVoid;
+}
+
+xir::EngineMode engine_of(const Request& req) {
+  xir::EngineMode m = xir::EngineMode::kInterp;
+  // parse_request already validated the name; the fallback never fires.
+  xir::parse_engine_mode(req.engine, &m);
+  return m;
 }
 
 /// Request budget clamped to the server's ceiling (tenants may ask for
@@ -126,21 +142,38 @@ Computed compute_lint(const ParsedDesign& d) {
 
 /// One watchdog-guarded screening pass (reset or worst-case occupancy).
 /// A deadlocked design yields a verdict object carrying the post-mortem
-/// bundle instead of wedging the worker on a drained budget.
+/// bundle instead of wedging the worker on a drained budget.  The
+/// engine selects the evaluator; verdicts, cycle indices and the
+/// post-mortem bundle are bit-identical across engines (the xir
+/// engines replay the interpreter's probe wiring, so the watchdog sees
+/// the same frames).  kSliced screens this single scenario through the
+/// compiled guard and a one-lane sliced analysis.
 Json screen_one(const graph::Topology& topo, bool worst_case,
                 lip::StopPolicy policy, std::uint64_t budget,
-                std::uint64_t threshold, bool* deadlocked) {
+                std::uint64_t threshold, xir::EngineMode engine,
+                bool* deadlocked) {
   skeleton::SkeletonOptions sopts;
   sopts.policy = policy;
   {
-    skeleton::Skeleton guard(topo, sopts);
-    if (worst_case) guard.saturate_stations();
     telemetry::WatchdogOptions wopts;
     wopts.no_progress_threshold = threshold;
     wopts.worst_case_occupancy = worst_case;
     telemetry::Watchdog dog(wopts);
-    dog.attach(guard);
-    const auto run = telemetry::run_guarded(guard, dog, budget);
+    std::uint64_t guard_cycles = 0;
+    if (engine == xir::EngineMode::kInterp) {
+      skeleton::Skeleton guard(topo, sopts);
+      if (worst_case) guard.saturate_stations();
+      dog.attach(guard);
+      guard_cycles = telemetry::run_guarded(guard, dog, budget).cycles;
+    } else {
+      // The watchdog rides the scalar engine for both compiled and
+      // sliced requests; sliced lanes have no per-lane probe hook and
+      // the guard verdict is engine-invariant anyway.
+      xir::ScalarEngine guard(topo, sopts);
+      if (worst_case) guard.saturate_stations();
+      dog.attach(guard);
+      guard_cycles = telemetry::run_guarded(guard, dog, budget).cycles;
+    }
     if (dog.tripped()) {
       *deadlocked = true;
       return Json::object()
@@ -148,14 +181,20 @@ Json screen_one(const graph::Topology& topo, bool worst_case,
           .set("reason", telemetry::trip_reason_str(dog.reason()))
           .set("no_progress_since", dog.no_progress_since())
           .set("trip_cycle", dog.trip_cycle())
-          .set("cycles", run.cycles)
+          .set("cycles", guard_cycles)
           .set("post_mortem", dog.post_mortem().to_json());
     }
   }
-  // Guard passed: a fresh skeleton delivers the exact steady state.
-  skeleton::Skeleton sk(topo, sopts);
-  if (worst_case) sk.saturate_stations();
-  const auto r = sk.analyze(budget);
+  // Guard passed: a fresh evaluator delivers the exact steady state.
+  skeleton::SkeletonResult r;
+  if (engine == xir::EngineMode::kInterp) {
+    skeleton::Skeleton sk(topo, sopts);
+    if (worst_case) sk.saturate_stations();
+    r = sk.analyze(budget);
+  } else {
+    r = xir::analyze_with_engine(topo, sopts, budget, engine, worst_case)
+            .result;
+  }
   Json j = Json::object().set("deadlock", false).set("found", r.found);
   if (r.found) {
     j.set("transient", r.transient)
@@ -168,16 +207,19 @@ Json screen_one(const graph::Topology& topo, bool worst_case,
 Computed compute_screen(const ParsedDesign& d, const Request& req,
                         const ServerOptions& opts) {
   const std::uint64_t budget = effective_budget(req, opts);
+  const xir::EngineMode engine = engine_of(req);
   bool deadlocked = false;
   Json from_reset = screen_one(d.net.topo, /*worst_case=*/false,
                                policy_of(req), budget,
-                               opts.watchdog_threshold, &deadlocked);
+                               opts.watchdog_threshold, engine, &deadlocked);
   Json worst = screen_one(d.net.topo, /*worst_case=*/true, policy_of(req),
-                          budget, opts.watchdog_threshold, &deadlocked);
+                          budget, opts.watchdog_threshold, engine,
+                          &deadlocked);
   Json result = Json::object()
                     .set("schema", "liplib.serve.screen/1")
                     .set("topology_hash", hex64(topology_hash(d.net.topo)))
                     .set("policy", req.policy)
+                    .set("engine", req.engine)
                     .set("budget", budget)
                     .set("verdict", deadlocked ? "deadlock" : "live")
                     .set("from_reset", std::move(from_reset))
@@ -224,6 +266,7 @@ Computed compute_campaign(const Request& req, const ServerOptions& opts) {
       campaign::FuzzSpec spec;
       spec.shape = campaign::FuzzSpec::Shape::kComposite;
       spec.policy = policy_of(req);
+      spec.engine = engine_of(req);
       spec.size = 4;
       jobs.push_back(
           campaign::make_fuzz_job("fuzz/" + std::to_string(i), spec));
@@ -244,6 +287,7 @@ Computed compute_campaign(const Request& req, const ServerOptions& opts) {
       Json::object()
           .set("schema", "liplib.serve.campaign/1")
           .set("mode", req.mode)
+          .set("engine", req.engine)
           .set("jobs", req.jobs)
           .set("seed", req.seed)
           .set("budget", eopts.cycle_budget)
@@ -266,6 +310,7 @@ std::string cache_key(const Request& req, const ParsedDesign* design,
       break;
     case RequestKind::kScreen:
       key += "/" + hex64(design->content_hash) + "/" + req.policy +
+             "/engine=" + req.engine +
              "/budget=" + std::to_string(effective_budget(req, opts));
       break;
     case RequestKind::kProfile:
@@ -274,6 +319,7 @@ std::string cache_key(const Request& req, const ParsedDesign* design,
       break;
     case RequestKind::kCampaign:
       key += "/" + req.mode + "/" + req.policy +
+             "/engine=" + req.engine +
              "/jobs=" + std::to_string(req.jobs) +
              "/seed=" + std::to_string(req.seed) +
              "/budget=" + std::to_string(effective_budget(req, opts));
@@ -343,9 +389,22 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
 
     const std::string key =
         cache_key(req, needs_design ? &design : nullptr, ctx.opts);
+    // Per-engine cache traffic (engine-keyed kinds only): screen and
+    // campaign answers depend on the requested evaluator's key.
+    const bool engine_keyed = req.kind == RequestKind::kScreen ||
+                              req.kind == RequestKind::kCampaign;
+    const int engine_idx = static_cast<int>(engine_of(req));
     if (auto hit = ctx.cache.lookup(key)) {
+      if (engine_keyed) {
+        std::lock_guard<std::mutex> lock(ctx.mu);
+        ctx.engine_hits[engine_idx].add();
+      }
       finish(false, false);
       return success_envelope(req.id, req.kind, /*cached=*/true, *hit);
+    }
+    if (engine_keyed) {
+      std::lock_guard<std::mutex> lock(ctx.mu);
+      ctx.engine_misses[engine_idx].add();
     }
 
     Computed computed;

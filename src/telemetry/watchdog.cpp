@@ -8,6 +8,7 @@
 #include "liplib/probe/trace.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/support/check.hpp"
+#include "liplib/xir/xir.hpp"
 
 namespace liplib::telemetry {
 
@@ -149,6 +150,8 @@ Watchdog::Watchdog(WatchdogOptions opts)
 void Watchdog::attach(lip::System& sys) { sys.attach_probe(probe_); }
 
 void Watchdog::attach(skeleton::Skeleton& sk) { sk.attach_probe(probe_); }
+
+void Watchdog::attach(xir::ScalarEngine& eng) { eng.attach_probe(probe_); }
 
 void Watchdog::on_bind(const probe::Probe& p) {
   bound_ = &p;
@@ -361,6 +364,17 @@ GuardedRun run_guarded(skeleton::Skeleton& sk, Watchdog& dog,
   GuardedRun r;
   for (std::uint64_t i = 0; i < max_cycles && !dog.tripped(); ++i) {
     sk.step();
+    ++r.cycles;
+  }
+  r.deadlocked = dog.tripped();
+  return r;
+}
+
+GuardedRun run_guarded(xir::ScalarEngine& eng, Watchdog& dog,
+                       std::uint64_t max_cycles) {
+  GuardedRun r;
+  for (std::uint64_t i = 0; i < max_cycles && !dog.tripped(); ++i) {
+    eng.step();
     ++r.cycles;
   }
   r.deadlocked = dog.tripped();

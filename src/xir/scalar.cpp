@@ -1,0 +1,417 @@
+// The compiled scalar engine: the interpreter's protocol dynamics
+// replayed as straight-line sweeps over the lowered CSR arrays.  Every
+// update below mirrors one statement of skeleton::Skeleton (see
+// src/skeleton/skeleton.cpp); the differential suite keeps them locked
+// together bit for bit.
+
+#include <unordered_map>
+
+#include "liplib/probe/probe.hpp"
+#include "liplib/support/check.hpp"
+#include "liplib/xir/sliced.hpp"
+#include "liplib/xir/xir.hpp"
+
+namespace liplib::xir {
+
+ScalarEngine::ScalarEngine(ProgramRef program) : prog_(std::move(program)) {
+  LIPLIB_EXPECT(prog_ != nullptr, "null xir program");
+  const Program& p = *prog_;
+  fwd_.assign(p.num_segments, 0);
+  stop_.assign(p.num_segments, 0);
+  st_occ_.assign(p.num_stations(), p.strict ? 1 : 0);
+  st_v0_.assign(p.num_stations(), 0);
+  st_v1_.assign(p.num_stations(), 0);
+  st_stop_reg_.assign(p.num_stations(), 0);
+  // Initialization: shell outputs valid, sources presenting.
+  pend_.assign(p.shell_br_seg.size(), 1);
+  src_pend_.assign(p.src_br_seg.size(), 1);
+  fire_count_.assign(p.num_shells(), 0);
+  sink_pattern_.resize(p.num_sinks());
+}
+
+ScalarEngine::ScalarEngine(const graph::Topology& topo,
+                           skeleton::SkeletonOptions opts)
+    : ScalarEngine(lower(topo, opts)) {}
+
+void ScalarEngine::set_sink_pattern(graph::NodeId node,
+                                    std::vector<bool> pattern) {
+  const Program& p = *prog_;
+  LIPLIB_EXPECT(node < p.topo.nodes().size() &&
+                    p.topo.node(node).kind == graph::NodeKind::kSink,
+                "set_sink_pattern target is not a sink");
+  auto& dst = sink_pattern_[p.node_index[node]];
+  dst.assign(pattern.size(), 0);
+  for (std::size_t i = 0; i < pattern.size(); ++i) dst[i] = pattern[i] ? 1 : 0;
+}
+
+void ScalarEngine::saturate_stations() {
+  for (std::size_t s = 0; s < prog_->num_stations(); ++s) {
+    if (st_occ_[s] == 0) st_occ_[s] = 1;
+    st_v0_[s] = 1;  // the front token becomes valid data
+  }
+}
+
+bool ScalarEngine::shell_ready(std::size_t k) const {
+  const Program& p = *prog_;
+  for (std::uint32_t i = p.shell_in_begin[k]; i < p.shell_in_begin[k + 1];
+       ++i) {
+    if (!fwd_[p.shell_in_seg[i]]) return false;
+  }
+  for (std::uint32_t b = p.shell_br_begin[k]; b < p.shell_br_begin[k + 1];
+       ++b) {
+    const bool stopped = stop_[p.shell_br_seg[b]] != 0;
+    if (p.strict) {
+      if (stopped) return false;
+    } else if (stopped && pend_[b]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ScalarEngine::eval_settle_unit(std::uint32_t unit) {
+  const Program& p = *prog_;
+  if (unit < p.num_stations()) {
+    const std::size_t s = unit;
+    const bool front_valid = st_occ_[s] > 0 && st_v0_[s];
+    const bool s_eff = p.strict ? (stop_[p.st_out[s]] != 0)
+                                : (stop_[p.st_out[s]] && front_valid);
+    stop_[p.st_in[s]] = (st_occ_[s] > 0 && s_eff) ? 1 : 0;
+  } else {
+    const std::size_t k = unit - p.num_stations();
+    const bool stalled = !shell_ready(k);
+    for (std::uint32_t i = p.shell_in_begin[k]; i < p.shell_in_begin[k + 1];
+         ++i) {
+      const std::uint32_t in = p.shell_in_seg[i];
+      stop_[in] = (stalled && fwd_[in]) ? 1 : 0;
+    }
+  }
+}
+
+bool ScalarEngine::eval_settle_unit_changed(std::uint32_t unit) {
+  const Program& p = *prog_;
+  bool changed = false;
+  if (unit < p.num_stations()) {
+    const std::size_t s = unit;
+    const bool front_valid = st_occ_[s] > 0 && st_v0_[s];
+    const bool s_eff = p.strict ? (stop_[p.st_out[s]] != 0)
+                                : (stop_[p.st_out[s]] && front_valid);
+    const std::uint8_t up = (st_occ_[s] > 0 && s_eff) ? 1 : 0;
+    if (stop_[p.st_in[s]] != up) {
+      stop_[p.st_in[s]] = up;
+      changed = true;
+    }
+  } else {
+    const std::size_t k = unit - p.num_stations();
+    const bool stalled = !shell_ready(k);
+    for (std::uint32_t i = p.shell_in_begin[k]; i < p.shell_in_begin[k + 1];
+         ++i) {
+      const std::uint32_t in = p.shell_in_seg[i];
+      const std::uint8_t up = (stalled && fwd_[in]) ? 1 : 0;
+      if (stop_[in] != up) {
+        stop_[in] = up;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+void ScalarEngine::settle_stops() {
+  const Program& p = *prog_;
+  const std::uint8_t init = p.pessimistic ? 1 : 0;
+  for (auto& s : stop_) s = init;
+  for (std::size_t s = 0; s < p.num_sinks(); ++s) {
+    const auto& pat = sink_pattern_[s];
+    stop_[p.sink_seg[s]] = (!pat.empty() && pat[cycle_ % pat.size()]) ? 1 : 0;
+  }
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    if (!p.st_half[s]) stop_[p.st_in[s]] = st_stop_reg_[s];
+  }
+  // The acyclic part of the stop network: every unit's inputs are final
+  // when it is visited, so a single ordered pass lands directly on the
+  // fixpoint the interpreter's repeated sweeps converge to (the stop
+  // system is monotone from its extreme init, so the extreme fixpoint
+  // is order-independent).
+  for (std::uint32_t unit : p.schedule.order) eval_settle_unit(unit);
+  // The combinational-cycle remainder iterates, exactly like the
+  // interpreter but over only the cyclic units.
+  if (!p.schedule.iterate.empty()) {
+    const std::size_t guard = 2 * stop_.size() + 4;
+    std::size_t sweeps = 0;
+    bool changed = true;
+    while (changed) {
+      LIPLIB_ENSURE(++sweeps <= guard, "stop fixpoint failed to converge");
+      changed = false;
+      for (std::uint32_t unit : p.schedule.iterate) {
+        changed = eval_settle_unit_changed(unit) || changed;
+      }
+    }
+  }
+}
+
+void ScalarEngine::attach_probe(probe::Probe& probe) {
+  LIPLIB_EXPECT(cycle_ == 0, "attach_probe after stepping");
+  LIPLIB_EXPECT(probe_ == nullptr, "attach_probe called twice");
+  LIPLIB_EXPECT(!probe.bound(), "probe is already bound to a simulator");
+  probe::Wiring w;
+  build_probe_wiring(*prog_, &w);
+  probe.bind(prog_->topo, std::move(w));
+  probe_ = &probe;
+}
+
+void ScalarEngine::observe_probe() {
+  const Program& p = *prog_;
+  std::uint8_t* valid = probe_->valid_scratch();
+  std::uint8_t* stop = probe_->stop_scratch();
+  for (std::size_t i = 0; i < fwd_.size(); ++i) {
+    valid[i] = fwd_[i];
+    stop[i] = stop_[i];
+  }
+  probe::Activity* act = probe_->activity_scratch();
+  for (std::size_t k = 0; k < p.num_shells(); ++k) {
+    if (shell_ready(k)) {
+      act[k] = probe::Activity::kFired;
+    } else {
+      bool missing = false;
+      for (std::uint32_t i = p.shell_in_begin[k]; i < p.shell_in_begin[k + 1];
+           ++i) {
+        if (!fwd_[p.shell_in_seg[i]]) {
+          missing = true;
+          break;
+        }
+      }
+      act[k] = missing ? probe::Activity::kWaitingInput
+                       : probe::Activity::kStoppedOutput;
+    }
+  }
+  probe_->commit_cycle(cycle_);
+}
+
+void ScalarEngine::step() {
+  const Program& p = *prog_;
+
+  // Phase 1: forward validity.
+  for (std::size_t b = 0; b < p.shell_br_seg.size(); ++b) {
+    fwd_[p.shell_br_seg[b]] = pend_[b];
+  }
+  for (std::size_t b = 0; b < p.src_br_seg.size(); ++b) {
+    fwd_[p.src_br_seg[b]] = src_pend_[b];
+  }
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    fwd_[p.st_out[s]] = (st_occ_[s] > 0 && st_v0_[s]) ? 1 : 0;
+  }
+
+  // Phase 2: stops.
+  settle_stops();
+
+  if (probe_) observe_probe();
+
+  // Phase 3: clock edge.
+  for (std::size_t k = 0; k < p.num_shells(); ++k) {
+    const bool fire = shell_ready(k);
+    for (std::uint32_t b = p.shell_br_begin[k]; b < p.shell_br_begin[k + 1];
+         ++b) {
+      if (pend_[b] && !stop_[p.shell_br_seg[b]]) pend_[b] = 0;
+    }
+    if (fire) {
+      for (std::uint32_t b = p.shell_br_begin[k]; b < p.shell_br_begin[k + 1];
+           ++b) {
+        LIPLIB_ENSURE(pend_[b] == 0, "xir shell fired while pending");
+        pend_[b] = 1;
+      }
+      ++fire_count_[k];
+    }
+  }
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    const bool in_valid = fwd_[p.st_in[s]] != 0;
+    const bool front_valid = st_occ_[s] > 0 && st_v0_[s];
+    const bool s_eff = p.strict ? (stop_[p.st_out[s]] != 0)
+                                : (stop_[p.st_out[s]] && front_valid);
+    const bool consumed = st_occ_[s] > 0 && !s_eff;
+    if (!p.st_half[s]) {
+      const bool accept = !st_stop_reg_[s] && (p.strict || in_valid);
+      if (consumed) {
+        st_v0_[s] = st_v1_[s];
+        --st_occ_[s];
+      }
+      if (accept) {
+        LIPLIB_ENSURE(st_occ_[s] < 2, "xir full station overflow");
+        (st_occ_[s] == 0 ? st_v0_[s] : st_v1_[s]) = in_valid ? 1 : 0;
+        ++st_occ_[s];
+      }
+      st_stop_reg_[s] = (st_occ_[s] == 2) ? 1 : 0;
+    } else {
+      const bool stop_up = st_occ_[s] > 0 && s_eff;
+      const bool accept = !stop_up && (p.strict || in_valid);
+      if (consumed) st_occ_[s] = 0;
+      if (accept) {
+        LIPLIB_ENSURE(st_occ_[s] == 0, "xir half station overflow");
+        st_v0_[s] = in_valid ? 1 : 0;
+        st_occ_[s] = 1;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < p.num_sources(); ++s) {
+    bool all_clear = true;
+    for (std::uint32_t b = p.src_br_begin[s]; b < p.src_br_begin[s + 1]; ++b) {
+      if (src_pend_[b] && !stop_[p.src_br_seg[b]]) src_pend_[b] = 0;
+      if (src_pend_[b]) all_clear = false;
+    }
+    if (all_clear) {  // always-ready source reloads immediately
+      for (std::uint32_t b = p.src_br_begin[s]; b < p.src_br_begin[s + 1];
+           ++b) {
+        src_pend_[b] = 1;
+      }
+    }
+  }
+  ++cycle_;
+}
+
+std::uint64_t ScalarEngine::fires(graph::NodeId process) const {
+  const Program& p = *prog_;
+  LIPLIB_EXPECT(process < p.topo.nodes().size() &&
+                    p.topo.node(process).kind == graph::NodeKind::kProcess,
+                "node is not a process");
+  return fire_count_[p.node_index[process]];
+}
+
+std::string ScalarEngine::state_signature() const {
+  // Serializes the same protocol state as Skeleton::state_signature()
+  // (including its 16-bit port-mask truncation), minus the interpreter's
+  // input-queue bytes — identically zero in the simplified-shell mode
+  // xir supports — so rho detection fires on exactly the same cycle in
+  // both engines even though the byte strings differ in layout.
+  const Program& p = *prog_;
+  std::string s;
+  s.reserve(p.port_br_begin.size() * 2 + p.num_sources() + p.num_stations());
+  for (std::size_t k = 0; k < p.num_shells(); ++k) {
+    for (std::uint32_t port = p.shell_port_begin[k];
+         port < p.shell_port_begin[k + 1]; ++port) {
+      std::uint32_t mask = 0;
+      for (std::uint32_t b = p.port_br_begin[port];
+           b < p.port_br_begin[port + 1]; ++b) {
+        if (pend_[b]) mask |= 1u << (b - p.port_br_begin[port]);
+      }
+      s.push_back(static_cast<char>(mask & 0xff));
+      s.push_back(static_cast<char>((mask >> 8) & 0xff));
+    }
+  }
+  for (std::size_t src = 0; src < p.num_sources(); ++src) {
+    std::uint32_t mask = 0;
+    for (std::uint32_t b = p.src_br_begin[src]; b < p.src_br_begin[src + 1];
+         ++b) {
+      if (src_pend_[b]) mask |= 1u << (b - p.src_br_begin[src]);
+    }
+    s.push_back(static_cast<char>(mask & 0xff));
+  }
+  for (std::size_t st = 0; st < p.num_stations(); ++st) {
+    char b = static_cast<char>(st_occ_[st]);
+    // Mask slot validity by occupancy: unoccupied slots are not state.
+    if (st_occ_[st] > 0 && st_v0_[st]) b |= 4;
+    if (st_occ_[st] > 1 && st_v1_[st]) b |= 8;
+    if (st_stop_reg_[st]) b |= 16;
+    s.push_back(b);
+  }
+  return s;
+}
+
+skeleton::SkeletonResult ScalarEngine::analyze(std::uint64_t max_cycles,
+                                               std::uint64_t env_period) {
+  LIPLIB_EXPECT(env_period >= 1, "environment period must be >= 1");
+  const Program& p = *prog_;
+  struct Snap {
+    std::uint64_t cycle;
+    std::vector<std::uint64_t> fires;
+  };
+  auto snap = [&] { return Snap{cycle_, fire_count_}; };
+  skeleton::SkeletonResult result;
+  result.shell_ids = p.shell_node;
+
+  std::unordered_map<std::string, Snap> seen;
+  for (std::uint64_t i = 0; i <= max_cycles; ++i) {
+    std::string key = state_signature();
+    key.push_back(static_cast<char>(cycle_ % env_period));
+    auto [it, inserted] = seen.emplace(std::move(key), snap());
+    if (!inserted) {
+      const Snap& first = it->second;
+      const Snap now = snap();
+      result.found = true;
+      result.transient = first.cycle;
+      result.period = now.cycle - first.cycle;
+      bool progress = false;
+      for (std::size_t k = 0; k < now.fires.size(); ++k) {
+        const auto delta = now.fires[k] - first.fires[k];
+        if (delta > 0) progress = true;
+        if (delta == 0) result.has_starved_shell = true;
+        result.shell_throughput.emplace_back(
+            static_cast<std::int64_t>(delta),
+            static_cast<std::int64_t>(result.period));
+      }
+      result.deadlocked = !progress && p.num_shells() > 0;
+      return result;
+    }
+    step();
+  }
+  return result;
+}
+
+skeleton::ScreeningVerdict screen_for_deadlock(const graph::Topology& topo,
+                                               skeleton::ScreeningOptions opts,
+                                               std::uint64_t max_cycles,
+                                               EngineMode engine) {
+  if (engine == EngineMode::kInterp) {
+    return skeleton::screen_for_deadlock(topo, opts, max_cycles);
+  }
+  if (engine == EngineMode::kSliced) {
+    VariantSpec base;
+    base.worst_case_occupancy = opts.worst_case_occupancy;
+    return screen_variants(topo, {base}, opts.skeleton, max_cycles)[0];
+  }
+  ScalarEngine eng(topo, opts.skeleton);
+  if (opts.worst_case_occupancy) eng.saturate_stations();
+  const auto r = eng.analyze(max_cycles);
+  skeleton::ScreeningVerdict v;
+  v.ran_to_steady_state = r.found;
+  v.deadlock_found = r.deadlocked || r.has_starved_shell;
+  v.transient = r.transient;
+  v.period = r.period;
+  v.cycles_simulated = eng.cycle();
+  v.min_throughput = r.system_throughput();
+  v.starved = r.starved_shells();
+  return v;
+}
+
+AnalyzeOutcome analyze_with_engine(const graph::Topology& topo,
+                                   skeleton::SkeletonOptions opts,
+                                   std::uint64_t max_cycles, EngineMode engine,
+                                   bool worst_case_occupancy) {
+  AnalyzeOutcome out;
+  switch (engine) {
+    case EngineMode::kInterp: {
+      skeleton::Skeleton sk(topo, opts);
+      if (worst_case_occupancy) sk.saturate_stations();
+      out.result = sk.analyze(max_cycles);
+      out.cycles = sk.cycle();
+      break;
+    }
+    case EngineMode::kCompiled: {
+      ScalarEngine eng(topo, opts);
+      if (worst_case_occupancy) eng.saturate_stations();
+      out.result = eng.analyze(max_cycles);
+      out.cycles = eng.cycle();
+      break;
+    }
+    case EngineMode::kSliced: {
+      SlicedEngine eng(topo, opts, /*num_lanes=*/1);
+      if (worst_case_occupancy) eng.saturate_stations(1ull);
+      auto lanes = eng.analyze(max_cycles);
+      out.result = std::move(lanes[0].result);
+      out.cycles = lanes[0].cycles;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace liplib::xir

@@ -1,0 +1,524 @@
+// The bit-sliced engine: 64 scenarios per machine word.  Each update
+// below is the lane-wise boolean form of one interpreter statement
+// (src/skeleton/skeleton.cpp); where full and half stations diverge,
+// both paths are computed and merged under the per-station lane mask.
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "liplib/support/check.hpp"
+#include "liplib/xir/sliced.hpp"
+
+namespace liplib::xir {
+
+namespace {
+constexpr std::uint64_t kAll = ~0ull;
+constexpr std::uint32_t kEmptySlot = ~0u;
+
+std::uint64_t mask_of(std::size_t lanes) {
+  return lanes >= 64 ? kAll : ((1ull << lanes) - 1);
+}
+
+// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3): afterwards
+// m[i] bit j == the input's m[j] bit i, i.e. word i collects lane i's
+// bit from each of the 64 input planes.
+void transpose64(std::uint64_t m[64]) {
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (m[k] ^ (m[k + j] << j)) & ~mask;
+      m[k] ^= t;
+      m[k + j] ^= t >> j;
+    }
+  }
+}
+}  // namespace
+
+SlicedEngine::SlicedEngine(ProgramRef program, std::size_t num_lanes)
+    : prog_(std::move(program)), num_lanes_(num_lanes) {
+  LIPLIB_EXPECT(prog_ != nullptr, "null xir program");
+  LIPLIB_EXPECT(num_lanes_ >= 1 && num_lanes_ <= kLanes,
+                "sliced engine carries 1..64 lanes");
+  live_mask_ = mask_of(num_lanes_);
+  const Program& p = *prog_;
+  fwd_w_.assign(p.num_segments, 0);
+  stop_w_.assign(p.num_segments, 0);
+  half_mask_.assign(p.num_stations(), 0);
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    half_mask_[s] = p.st_half[s] ? kAll : 0;
+  }
+  occ1_.assign(p.num_stations(), p.strict ? kAll : 0);
+  occ2_.assign(p.num_stations(), 0);
+  v0_.assign(p.num_stations(), 0);
+  v1_.assign(p.num_stations(), 0);
+  stop_reg_.assign(p.num_stations(), 0);
+  pend_w_.assign(p.shell_br_seg.size(), kAll);
+  src_pend_w_.assign(p.src_br_seg.size(), kAll);
+  fires_.assign(p.num_shells() * kLanes, 0);
+  sink_pattern_.resize(p.num_sinks());
+  schedule_ = p.schedule;
+}
+
+SlicedEngine::SlicedEngine(const graph::Topology& topo,
+                           skeleton::SkeletonOptions opts,
+                           std::size_t num_lanes)
+    : SlicedEngine(lower(topo, opts), num_lanes) {}
+
+void SlicedEngine::set_station_kinds(std::size_t lane,
+                                     const std::vector<graph::RsKind>& kinds) {
+  LIPLIB_EXPECT(cycle_ == 0, "set_station_kinds after stepping");
+  LIPLIB_EXPECT(lane < num_lanes_, "lane out of range");
+  LIPLIB_EXPECT(kinds.size() == prog_->num_stations(),
+                "kind vector does not match the program's station count");
+  const std::uint64_t bit = 1ull << lane;
+  for (std::size_t s = 0; s < kinds.size(); ++s) {
+    if (kinds[s] == graph::RsKind::kHalf) {
+      half_mask_[s] |= bit;
+    } else {
+      half_mask_[s] &= ~bit;
+    }
+  }
+  schedule_dirty_ = true;
+}
+
+void SlicedEngine::set_sink_pattern(graph::NodeId node,
+                                    std::vector<bool> pattern) {
+  const Program& p = *prog_;
+  LIPLIB_EXPECT(node < p.topo.nodes().size() &&
+                    p.topo.node(node).kind == graph::NodeKind::kSink,
+                "set_sink_pattern target is not a sink");
+  auto& dst = sink_pattern_[p.node_index[node]];
+  dst.assign(pattern.size(), 0);
+  for (std::size_t i = 0; i < pattern.size(); ++i) dst[i] = pattern[i] ? 1 : 0;
+}
+
+void SlicedEngine::saturate_stations(std::uint64_t lane_mask) {
+  for (std::size_t s = 0; s < prog_->num_stations(); ++s) {
+    occ1_[s] |= lane_mask;  // occ 0 -> 1; higher occupancy unchanged
+    v0_[s] |= lane_mask;    // the front token becomes valid data
+  }
+}
+
+void SlicedEngine::refresh_schedule() {
+  if (!schedule_dirty_) return;
+  // The union of every lane's dynamic stations; a mixed station's update
+  // is masked to its half lanes, so full lanes just see a no-op.
+  std::vector<std::uint8_t> dynamic(prog_->num_stations(), 0);
+  for (std::size_t s = 0; s < prog_->num_stations(); ++s) {
+    dynamic[s] = half_mask_[s] != 0 ? 1 : 0;
+  }
+  schedule_ = build_settle_schedule(*prog_, dynamic);
+  schedule_dirty_ = false;
+}
+
+std::uint64_t SlicedEngine::shell_ready_word(std::size_t k) const {
+  const Program& p = *prog_;
+  std::uint64_t ready = kAll;
+  for (std::uint32_t i = p.shell_in_begin[k]; i < p.shell_in_begin[k + 1];
+       ++i) {
+    ready &= fwd_w_[p.shell_in_seg[i]];
+  }
+  for (std::uint32_t b = p.shell_br_begin[k]; b < p.shell_br_begin[k + 1];
+       ++b) {
+    const std::uint64_t stopped = stop_w_[p.shell_br_seg[b]];
+    ready &= ~(p.strict ? stopped : (stopped & pend_w_[b]));
+  }
+  return ready;
+}
+
+void SlicedEngine::settle_station(std::size_t s) {
+  const Program& p = *prog_;
+  const std::uint64_t front_valid = occ1_[s] & v0_[s];
+  const std::uint64_t s_eff =
+      p.strict ? stop_w_[p.st_out[s]] : (stop_w_[p.st_out[s]] & front_valid);
+  const std::uint64_t up = occ1_[s] & s_eff;
+  const std::uint64_t hm = half_mask_[s];
+  stop_w_[p.st_in[s]] = (stop_w_[p.st_in[s]] & ~hm) | (up & hm);
+}
+
+void SlicedEngine::settle_shell(std::size_t k) {
+  const Program& p = *prog_;
+  const std::uint64_t stalled = ~shell_ready_word(k);
+  for (std::uint32_t i = p.shell_in_begin[k]; i < p.shell_in_begin[k + 1];
+       ++i) {
+    const std::uint32_t in = p.shell_in_seg[i];
+    stop_w_[in] = stalled & fwd_w_[in];
+  }
+}
+
+void SlicedEngine::settle_stops() {
+  const Program& p = *prog_;
+  refresh_schedule();
+  const std::uint64_t init = p.pessimistic ? kAll : 0;
+  for (auto& s : stop_w_) s = init;
+  for (std::size_t s = 0; s < p.num_sinks(); ++s) {
+    const auto& pat = sink_pattern_[s];
+    stop_w_[p.sink_seg[s]] =
+        (!pat.empty() && pat[cycle_ % pat.size()]) ? kAll : 0;
+  }
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    // Full lanes present the registered stop; half lanes keep the init
+    // value until the dynamic part runs.
+    const std::uint64_t hm = half_mask_[s];
+    stop_w_[p.st_in[s]] = (init & hm) | (stop_reg_[s] & ~hm);
+  }
+  for (std::uint32_t unit : schedule_.order) {
+    if (unit < p.num_stations()) {
+      settle_station(unit);
+    } else {
+      settle_shell(unit - p.num_stations());
+    }
+  }
+  if (!schedule_.iterate.empty()) {
+    const std::size_t guard = 2 * stop_w_.size() + 4;
+    std::size_t sweeps = 0;
+    bool changed = true;
+    while (changed) {
+      LIPLIB_ENSURE(++sweeps <= guard, "stop fixpoint failed to converge");
+      changed = false;
+      for (std::uint32_t unit : schedule_.iterate) {
+        if (unit < p.num_stations()) {
+          const std::uint64_t before = stop_w_[p.st_in[unit]];
+          settle_station(unit);
+          changed = changed || stop_w_[p.st_in[unit]] != before;
+        } else {
+          const std::size_t k = unit - p.num_stations();
+          const std::uint64_t stalled = ~shell_ready_word(k);
+          for (std::uint32_t i = p.shell_in_begin[k];
+               i < p.shell_in_begin[k + 1]; ++i) {
+            const std::uint32_t in = p.shell_in_seg[i];
+            const std::uint64_t up = stalled & fwd_w_[in];
+            if (stop_w_[in] != up) {
+              stop_w_[in] = up;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void SlicedEngine::step_stations() {
+  const Program& p = *prog_;
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    const std::uint64_t in_valid = fwd_w_[p.st_in[s]];
+    const std::uint64_t front_valid = occ1_[s] & v0_[s];
+    const std::uint64_t s_eff =
+        p.strict ? stop_w_[p.st_out[s]] : (stop_w_[p.st_out[s]] & front_valid);
+    const std::uint64_t consumed = occ1_[s] & ~s_eff;
+    const std::uint64_t hm = half_mask_[s];
+
+    // Full path: a 2-slot skid buffer with registered stop.
+    const std::uint64_t f_accept =
+        ~stop_reg_[s] & (p.strict ? kAll : in_valid);
+    const std::uint64_t occ_a1 = (occ1_[s] & ~consumed) | occ2_[s];
+    const std::uint64_t occ_a2 = occ2_[s] & ~consumed;
+    const std::uint64_t v0_a = (consumed & v1_[s]) | (~consumed & v0_[s]);
+    LIPLIB_ENSURE((f_accept & occ_a2 & ~hm) == 0, "xir full station overflow");
+    const std::uint64_t v0_f =
+        (f_accept & ~occ_a1 & in_valid) | ((~f_accept | occ_a1) & v0_a);
+    const std::uint64_t v1_f =
+        (f_accept & occ_a1 & in_valid) | ((~f_accept | ~occ_a1) & v1_[s]);
+    const std::uint64_t occ_f1 = occ_a1 | f_accept;
+    const std::uint64_t occ_f2 = occ_a2 | (f_accept & occ_a1);
+
+    // Half path: a single slot with combinational stop.
+    const std::uint64_t stop_up = occ1_[s] & s_eff;
+    const std::uint64_t h_accept = ~stop_up & (p.strict ? kAll : in_valid);
+    const std::uint64_t occ_d1 = occ1_[s] & ~consumed;
+    LIPLIB_ENSURE((h_accept & occ_d1 & hm) == 0, "xir half station overflow");
+    const std::uint64_t occ_h1 = occ_d1 | h_accept;
+    const std::uint64_t v0_h = (h_accept & in_valid) | (~h_accept & v0_[s]);
+
+    occ1_[s] = (occ_h1 & hm) | (occ_f1 & ~hm);
+    occ2_[s] = occ_f2 & ~hm;
+    v0_[s] = (v0_h & hm) | (v0_f & ~hm);
+    v1_[s] = (v1_[s] & hm) | (v1_f & ~hm);
+    stop_reg_[s] = occ_f2 & ~hm;
+  }
+}
+
+void SlicedEngine::step() {
+  const Program& p = *prog_;
+
+  // Phase 1: forward validity.
+  for (std::size_t b = 0; b < p.shell_br_seg.size(); ++b) {
+    fwd_w_[p.shell_br_seg[b]] = pend_w_[b];
+  }
+  for (std::size_t b = 0; b < p.src_br_seg.size(); ++b) {
+    fwd_w_[p.src_br_seg[b]] = src_pend_w_[b];
+  }
+  for (std::size_t s = 0; s < p.num_stations(); ++s) {
+    fwd_w_[p.st_out[s]] = occ1_[s] & v0_[s];
+  }
+
+  // Phase 2: stops.
+  settle_stops();
+
+  // Phase 3: clock edge.
+  for (std::size_t k = 0; k < p.num_shells(); ++k) {
+    const std::uint64_t fire = shell_ready_word(k);
+    for (std::uint32_t b = p.shell_br_begin[k]; b < p.shell_br_begin[k + 1];
+         ++b) {
+      pend_w_[b] &= stop_w_[p.shell_br_seg[b]];  // consumers take the rest
+      LIPLIB_ENSURE((fire & pend_w_[b]) == 0, "xir shell fired while pending");
+      pend_w_[b] |= fire;
+    }
+    std::uint64_t fired = fire & live_mask_;
+    while (fired != 0) {
+      const int lane = std::countr_zero(fired);
+      ++fires_[k * kLanes + static_cast<std::size_t>(lane)];
+      fired &= fired - 1;
+    }
+  }
+  step_stations();
+  for (std::size_t s = 0; s < p.num_sources(); ++s) {
+    std::uint64_t all_clear = kAll;
+    for (std::uint32_t b = p.src_br_begin[s]; b < p.src_br_begin[s + 1]; ++b) {
+      src_pend_w_[b] &= stop_w_[p.src_br_seg[b]];
+      all_clear &= ~src_pend_w_[b];
+    }
+    for (std::uint32_t b = p.src_br_begin[s]; b < p.src_br_begin[s + 1]; ++b) {
+      src_pend_w_[b] |= all_clear;  // always-ready source reloads
+    }
+  }
+  ++cycle_;
+}
+
+std::uint64_t SlicedEngine::fires(std::size_t lane,
+                                  graph::NodeId process) const {
+  const Program& p = *prog_;
+  LIPLIB_EXPECT(lane < num_lanes_, "lane out of range");
+  LIPLIB_EXPECT(process < p.topo.nodes().size() &&
+                    p.topo.node(process).kind == graph::NodeKind::kProcess,
+                "node is not a process");
+  return fires_[p.node_index[process] * kLanes + lane];
+}
+
+std::string SlicedEngine::lane_signature(std::size_t lane) const {
+  LIPLIB_EXPECT(lane < num_lanes_, "lane out of range");
+  const Program& p = *prog_;
+  const std::uint64_t bit = 1ull << lane;
+  std::string s;
+  s.reserve(p.port_br_begin.size() * 2 + p.num_sources() + p.num_stations());
+  for (std::size_t k = 0; k < p.num_shells(); ++k) {
+    for (std::uint32_t port = p.shell_port_begin[k];
+         port < p.shell_port_begin[k + 1]; ++port) {
+      std::uint32_t mask = 0;
+      for (std::uint32_t b = p.port_br_begin[port];
+           b < p.port_br_begin[port + 1]; ++b) {
+        if (pend_w_[b] & bit) mask |= 1u << (b - p.port_br_begin[port]);
+      }
+      s.push_back(static_cast<char>(mask & 0xff));
+      s.push_back(static_cast<char>((mask >> 8) & 0xff));
+    }
+  }
+  for (std::size_t src = 0; src < p.num_sources(); ++src) {
+    std::uint32_t mask = 0;
+    for (std::uint32_t b = p.src_br_begin[src]; b < p.src_br_begin[src + 1];
+         ++b) {
+      if (src_pend_w_[b] & bit) mask |= 1u << (b - p.src_br_begin[src]);
+    }
+    s.push_back(static_cast<char>(mask & 0xff));
+  }
+  for (std::size_t st = 0; st < p.num_stations(); ++st) {
+    const unsigned occ = ((occ1_[st] & bit) ? 1u : 0u) +
+                         ((occ2_[st] & bit) ? 1u : 0u);
+    char b = static_cast<char>(occ);
+    if (occ > 0 && (v0_[st] & bit)) b |= 4;
+    if (occ > 1 && (v1_[st] & bit)) b |= 8;
+    if (stop_reg_[st] & bit) b |= 16;
+    s.push_back(b);
+  }
+  return s;
+}
+
+std::vector<SlicedEngine::LaneOutcome> SlicedEngine::analyze(
+    std::uint64_t max_cycles, std::uint64_t env_period) {
+  LIPLIB_EXPECT(env_period >= 1, "environment period must be >= 1");
+  const Program& p = *prog_;
+  const std::size_t shells = p.num_shells();
+
+  std::vector<LaneOutcome> out(num_lanes_);
+  for (auto& o : out) o.result.shell_ids = p.shell_node;
+
+  // Repeat detection runs every cycle for every undecided lane, so both
+  // halves of it are kept off the per-lane slow path:
+  //
+  //  - The per-lane state key is extracted for all lanes at once: the
+  //    state planes — with stale valid bits masked by occupancy, so two
+  //    plane slices are equal exactly when the lane_signature() strings
+  //    are — are transposed 64 planes at a time, one word per lane per
+  //    block, instead of a per-lane per-bit gather.  The environment
+  //    phase rides as one extra key word.
+  //
+  //  - Visited states live in per-lane append-only pools (key words and
+  //    fire counts), indexed by a flat open-addressed hash table with
+  //    exact word comparison on probe hits, so a cycle costs two
+  //    bump-appends instead of per-lane heap allocations.
+  const std::size_t num_planes =
+      pend_w_.size() + src_pend_w_.size() + 5 * p.num_stations();
+  const std::size_t num_blocks = (num_planes + 63) / 64;
+  const std::size_t key_words = num_blocks + 1;  ///< + environment phase
+  std::vector<std::uint64_t> block(64);
+  std::vector<std::uint64_t> lane_words(num_lanes_ * key_words);
+  std::vector<std::uint64_t> planes(num_blocks * 64, 0);
+
+  struct LaneSeen {
+    std::vector<std::uint64_t> slot_hash;  ///< valid where slot_rec set
+    std::vector<std::uint32_t> slot_rec;   ///< kEmptySlot = free slot
+    std::vector<std::uint64_t> rec_cycle;  ///< per record
+    std::vector<std::uint64_t> keys;       ///< key_words per record
+    std::vector<std::uint64_t> fires;      ///< shells per record
+  };
+  std::vector<LaneSeen> seen(num_lanes_);
+  for (auto& ls : seen) {
+    ls.slot_hash.assign(1024, 0);
+    ls.slot_rec.assign(1024, kEmptySlot);
+  }
+
+  auto hash_key = [key_words](const std::uint64_t* w) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < key_words; ++i) {
+      h = (h ^ w[i]) * 1099511628211ull;
+    }
+    return h;
+  };
+  auto grow_table = [](LaneSeen& ls) {
+    const std::size_t cap = ls.slot_rec.size() * 2;
+    std::vector<std::uint64_t> hashes(cap, 0);
+    std::vector<std::uint32_t> recs(cap, kEmptySlot);
+    for (std::size_t s = 0; s < ls.slot_rec.size(); ++s) {
+      if (ls.slot_rec[s] == kEmptySlot) continue;
+      std::size_t pos = ls.slot_hash[s] & (cap - 1);
+      while (recs[pos] != kEmptySlot) pos = (pos + 1) & (cap - 1);
+      hashes[pos] = ls.slot_hash[s];
+      recs[pos] = ls.slot_rec[s];
+    }
+    ls.slot_hash.swap(hashes);
+    ls.slot_rec.swap(recs);
+  };
+
+  std::uint64_t active = live_mask_;
+  for (std::uint64_t i = 0; i <= max_cycles && active != 0; ++i) {
+    std::size_t n = 0;
+    for (const std::uint64_t w : pend_w_) planes[n++] = w;
+    for (const std::uint64_t w : src_pend_w_) planes[n++] = w;
+    for (std::size_t s = 0; s < p.num_stations(); ++s) planes[n++] = occ1_[s];
+    for (std::size_t s = 0; s < p.num_stations(); ++s) planes[n++] = occ2_[s];
+    for (std::size_t s = 0; s < p.num_stations(); ++s) {
+      planes[n++] = v0_[s] & occ1_[s];
+    }
+    for (std::size_t s = 0; s < p.num_stations(); ++s) {
+      planes[n++] = v1_[s] & occ2_[s];
+    }
+    for (std::size_t s = 0; s < p.num_stations(); ++s) {
+      planes[n++] = stop_reg_[s];
+    }
+    const std::uint64_t phase = cycle_ % env_period;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      std::copy(planes.begin() + static_cast<std::ptrdiff_t>(b * 64),
+                planes.begin() + static_cast<std::ptrdiff_t>((b + 1) * 64),
+                block.begin());
+      transpose64(block.data());
+      for (std::size_t lane = 0; lane < num_lanes_; ++lane) {
+        lane_words[lane * key_words + b] = block[lane];
+      }
+    }
+    for (std::size_t lane = 0; lane < num_lanes_; ++lane) {
+      lane_words[lane * key_words + num_blocks] = phase;
+    }
+    for (std::size_t lane = 0; lane < num_lanes_; ++lane) {
+      const std::uint64_t bit = 1ull << lane;
+      if (!(active & bit)) continue;
+      LaneSeen& ls = seen[lane];
+      const std::uint64_t* key = &lane_words[lane * key_words];
+      if ((ls.rec_cycle.size() + 1) * 3 >= ls.slot_rec.size() * 2) {
+        grow_table(ls);
+      }
+      const std::uint64_t h = hash_key(key);
+      const std::size_t mask = ls.slot_rec.size() - 1;
+      std::size_t pos = h & mask;
+      std::uint32_t first = kEmptySlot;
+      while (ls.slot_rec[pos] != kEmptySlot) {
+        if (ls.slot_hash[pos] == h &&
+            std::equal(key, key + key_words,
+                       ls.keys.begin() +
+                           static_cast<std::ptrdiff_t>(ls.slot_rec[pos]) *
+                               static_cast<std::ptrdiff_t>(key_words))) {
+          first = ls.slot_rec[pos];  // true repeat of a visited state
+          break;
+        }
+        pos = (pos + 1) & mask;
+      }
+      if (first == kEmptySlot) {
+        const auto index = static_cast<std::uint32_t>(ls.rec_cycle.size());
+        ls.slot_hash[pos] = h;
+        ls.slot_rec[pos] = index;
+        ls.rec_cycle.push_back(cycle_);
+        ls.keys.insert(ls.keys.end(), key, key + key_words);
+        for (std::size_t k = 0; k < shells; ++k) {
+          ls.fires.push_back(fires_[k * kLanes + lane]);
+        }
+        continue;
+      }
+      auto& r = out[lane].result;
+      r.found = true;
+      r.transient = ls.rec_cycle[first];
+      r.period = cycle_ - ls.rec_cycle[first];
+      bool progress = false;
+      for (std::size_t k = 0; k < shells; ++k) {
+        const auto delta =
+            fires_[k * kLanes + lane] - ls.fires[first * shells + k];
+        if (delta > 0) progress = true;
+        if (delta == 0) r.has_starved_shell = true;
+        r.shell_throughput.emplace_back(static_cast<std::int64_t>(delta),
+                                        static_cast<std::int64_t>(r.period));
+      }
+      r.deadlocked = !progress && shells > 0;
+      out[lane].cycles = cycle_;
+      active &= ~bit;
+    }
+    // Finished lanes keep stepping (their state is periodic; the extra
+    // work is harmless) until every lane has an answer.
+    if (active != 0) step();
+  }
+  for (std::size_t lane = 0; lane < num_lanes_; ++lane) {
+    if (active & (1ull << lane)) out[lane].cycles = cycle_;
+  }
+  return out;
+}
+
+std::vector<skeleton::ScreeningVerdict> screen_variants(
+    const graph::Topology& topo, const std::vector<VariantSpec>& variants,
+    skeleton::SkeletonOptions opts, std::uint64_t max_cycles) {
+  LIPLIB_EXPECT(!variants.empty() && variants.size() <= SlicedEngine::kLanes,
+                "screen_variants batches 1..64 variants");
+  SlicedEngine eng(lower(topo, opts), variants.size());
+  std::uint64_t saturate = 0;
+  for (std::size_t lane = 0; lane < variants.size(); ++lane) {
+    if (!variants[lane].kinds.empty()) {
+      eng.set_station_kinds(lane, variants[lane].kinds);
+    }
+    if (variants[lane].worst_case_occupancy) saturate |= 1ull << lane;
+  }
+  if (saturate != 0) eng.saturate_stations(saturate);
+  const auto lanes = eng.analyze(max_cycles);
+  std::vector<skeleton::ScreeningVerdict> verdicts(variants.size());
+  for (std::size_t lane = 0; lane < variants.size(); ++lane) {
+    const auto& r = lanes[lane].result;
+    auto& v = verdicts[lane];
+    v.ran_to_steady_state = r.found;
+    v.deadlock_found = r.deadlocked || r.has_starved_shell;
+    v.transient = r.transient;
+    v.period = r.period;
+    v.cycles_simulated = lanes[lane].cycles;
+    v.min_throughput = r.system_throughput();
+    v.starved = r.starved_shells();
+  }
+  return verdicts;
+}
+
+}  // namespace liplib::xir
