@@ -52,6 +52,7 @@
 #include "liplib/pearls/design_io.hpp"
 #include "liplib/probe/probe.hpp"
 #include "liplib/probe/trace.hpp"
+#include "liplib/prove/prove.hpp"
 #include "liplib/serve/server.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/support/table.hpp"
@@ -87,6 +88,23 @@ structural commands (take a .lid netlist file):
   screen    <file.lid>          deadlock screening (reset + worst case)
     --engine interp|compiled|sliced   skeleton evaluator (default interp;
                        the xir engines are bit-identical, see docs/xir.md)
+  prove     <file.lid>          static deadlock-freedom proof: exhaustive
+                                reachability, bounded model checking and
+                                k-induction over every sink-stop environment
+                                (see docs/prove.md);
+                                exit 0 proved / 1 counterexample / 2 unknown
+    --worst-case       prove from worst-case occupancy instead of reset
+    --method M         auto | reach | bmc | induction (default auto)
+    --depth K          bounded model checking to depth K (implies bmc)
+    --induction        k-induction certificates only (same as
+                       --method induction)
+    --budget N         distinct-state budget (default 2^20)
+    --engine scalar|sliced   search frontier (default sliced, 64 states
+                       per settle pass; verdicts are identical)
+    --policy variant|strict  stop policy (default variant)
+    --json             render the result as canonical JSON
+    --postmortem FILE  write the counterexample's replayable
+                       liplib.postmortem/1 bundle to FILE
   cure      <file.lid>          substitute stations until deadlock free
   equalize  <file.lid>          insert spare stations, print new netlist
   flow      <file.lid>          full flow: screen, cure, sign off
@@ -112,6 +130,10 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
   campaign probe <N>            probe-vs-analytic agreement on N random
                                 topologies (measured throughput must equal
                                 the skeleton's exactly)
+  campaign prove <N>            three-way cross-check of the prover against
+                                the linter and worst-case screening on N
+                                random topologies (any disagreement is a
+                                mismatch failure)
   campaign mix <file.lid>       screen random half/full station-kind
                                 variants of one design from worst-case
                                 occupancy; the sliced engine (default)
@@ -156,12 +178,16 @@ serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
   client <kind> [args]          send one request, print the JSON response;
                                 exit 0 live/clean, 1 diagnosed, 2 error
     kinds: lint <file.lid> | screen <file.lid> | profile <file.lid> |
-           campaign <fuzz|lint|probe> <jobs> | status | shutdown
+           prove <file.lid> | campaign <fuzz|lint|probe|prove> <jobs> |
+           status | shutdown
     --port N       daemon port (default 7177)
-    --policy P     variant | strict (screen / campaign)
-    --engine E     interp | compiled | sliced (screen / campaign)
-    --budget N     cycle budget (screen / campaign)
+    --policy P     variant | strict (screen / prove / campaign)
+    --engine E     interp | compiled | sliced (screen / prove / campaign)
+    --budget N     cycle budget (screen / campaign); state budget (prove)
     --cycles N     cycles to simulate (profile)
+    --method M     auto | reach | bmc | induction (prove)
+    --depth K      BMC depth bound (prove)
+    --worst-case   prove from worst-case occupancy
     --seed S       campaign base seed (default 1)
     --id X         request id echoed in the response
 
@@ -384,6 +410,89 @@ int cmd_screen(const graph::Topology& topo,
             << xir::engine_mode_name(engine) << " verdict="
             << (bad ? "deadlock" : "live") << "\n";
   return bad ? 1 : 0;
+}
+
+int cmd_prove(const graph::Topology& topo,
+              const std::vector<std::string>& rest) {
+  prove::ProveOptions opts;
+  bool json = false;
+  std::string pm_path;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--worst-case") {
+      opts.worst_case_occupancy = true;
+    } else if (rest[i] == "--method") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--method requires a value");
+      const std::string v = rest[++i];
+      LIPLIB_EXPECT(prove::parse_method(v, &opts.method),
+                    "unknown method '" + v +
+                        "' (expected auto | reach | bmc | induction)");
+    } else if (rest[i] == "--depth") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--depth requires a value");
+      opts.method = prove::Method::kBmc;
+      opts.depth = parse_u64(rest[++i], "--depth");
+    } else if (rest[i] == "--induction") {
+      opts.method = prove::Method::kInduction;
+    } else if (rest[i] == "--budget") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--budget requires a value");
+      opts.max_states = parse_u64(rest[++i], "--budget");
+    } else if (rest[i] == "--engine") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--engine requires a value");
+      const std::string v = rest[++i];
+      if (v == "scalar") {
+        opts.sliced_frontier = false;
+      } else if (v == "sliced") {
+        opts.sliced_frontier = true;
+      } else {
+        std::cerr << "unknown prove engine '" << v
+                  << "' (expected scalar | sliced)\n\n"
+                  << kUsage;
+        return 2;
+      }
+    } else if (rest[i] == "--policy") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--policy requires a value");
+      const std::string v = rest[++i];
+      if (v == "variant") {
+        opts.skeleton.policy = lip::StopPolicy::kCasuDiscardOnVoid;
+      } else if (v == "strict") {
+        opts.skeleton.policy = lip::StopPolicy::kCarloniStrict;
+      } else {
+        std::cerr << "unknown policy '" << v
+                  << "' (expected variant | strict)\n\n"
+                  << kUsage;
+        return 2;
+      }
+    } else if (rest[i] == "--json") {
+      json = true;
+    } else if (rest[i] == "--postmortem") {
+      LIPLIB_EXPECT(i + 1 < rest.size(), "--postmortem requires a file name");
+      pm_path = rest[++i];
+    } else {
+      std::cerr << "unknown prove option '" << rest[i] << "'\n\n" << kUsage;
+      return 2;
+    }
+  }
+  const auto r = prove::prove(topo, opts);
+  if (json) {
+    std::cout << r.to_json(topo).dump(2) << "\n";
+  } else {
+    std::cout << r.to_string(topo);
+  }
+  if (!pm_path.empty()) {
+    if (!r.postmortem) {
+      std::cerr << "no post-mortem bundle to write (verdict "
+                << prove::verdict_name(r.verdict) << ")\n";
+    } else {
+      std::ofstream os(pm_path);
+      if (!os) {
+        std::cerr << "cannot write " << pm_path << "\n";
+        return 2;
+      }
+      os << r.postmortem->to_json().dump(2) << "\n";
+      std::cerr << "wrote post-mortem bundle " << pm_path
+                << " (replay with `lidtool replay " << pm_path << "`)\n";
+    }
+  }
+  return r.exit_code();
 }
 
 int cmd_cure(const graph::Topology& topo) {
@@ -860,7 +969,7 @@ int cmd_campaign_mix(graph::Topology topo, CampaignArgs args) {
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) {
     std::cerr << "campaign requires a mode: "
-                 "sweep | fuzz | lint | probe | mix | t1\n"
+                 "sweep | fuzz | lint | probe | prove | mix | t1\n"
               << kUsage;
     return 2;
   }
@@ -907,6 +1016,16 @@ int cmd_campaign(int argc, char** argv) {
     const std::size_t n =
         static_cast<std::size_t>(parse_u64(args.positional[0], "probe count"));
     return run_campaign_and_report(campaign::make_probe_campaign(n), args);
+  }
+  if (mode == "prove") {
+    if (args.positional.size() != 1) {
+      std::cerr << "campaign prove requires a job count\n";
+      return 2;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(parse_u64(args.positional[0], "prove count"));
+    return run_campaign_and_report(campaign::make_prove_crosscheck_campaign(n),
+                                   args);
   }
   if (mode == "mix") {
     if (args.positional.size() != 1) {
@@ -1005,6 +1124,12 @@ int cmd_client(int argc, char** argv) {
       request.set("cycles", parse_u64(value("--cycles"), "--cycles"));
     } else if (a == "--seed") {
       request.set("seed", parse_u64(value("--seed"), "--seed"));
+    } else if (a == "--method") {
+      request.set("method", value("--method"));
+    } else if (a == "--depth") {
+      request.set("depth", parse_u64(value("--depth"), "--depth"));
+    } else if (a == "--worst-case") {
+      request.set("worst_case", true);
     } else if (a == "--id") {
       request.set("id", value("--id"));
     } else if (!a.empty() && a[0] == '-') {
@@ -1018,12 +1143,13 @@ int cmd_client(int argc, char** argv) {
   }
   if (kind.empty()) {
     std::cerr << "client requires a request kind: lint | screen | profile | "
-                 "campaign | status | shutdown\n\n"
+                 "prove | campaign | status | shutdown\n\n"
               << kUsage;
     return 2;
   }
   request.set("kind", kind);
-  if (kind == "lint" || kind == "screen" || kind == "profile") {
+  if (kind == "lint" || kind == "screen" || kind == "profile" ||
+      kind == "prove") {
     if (positional.size() != 1) {
       std::cerr << "client " << kind << " requires exactly one <file.lid>\n";
       return 2;
@@ -1038,7 +1164,8 @@ int cmd_client(int argc, char** argv) {
     request.set("netlist", ss.str());
   } else if (kind == "campaign") {
     if (positional.size() != 2) {
-      std::cerr << "client campaign requires <fuzz|lint|probe> <jobs>\n";
+      std::cerr << "client campaign requires <fuzz|lint|probe|prove> "
+                   "<jobs>\n";
       return 2;
     }
     request.set("mode", positional[0]);
@@ -1083,7 +1210,10 @@ int cmd_client(int argc, char** argv) {
       if (const Json* result = response.find("result")) {
         if (const Json* verdict = result->find("verdict")) {
           const std::string& v = verdict->as_string();
-          if (v != "live" && v != "clean" && v != "all_live") rc = 1;
+          if (v != "live" && v != "clean" && v != "all_live" &&
+              v != "proved") {
+            rc = 1;
+          }
         }
       }
     }
@@ -1122,6 +1252,10 @@ int main(int argc, char** argv) {
       return true;
     };
     if (argc >= 3) {
+      if (std::string(argv[2]) == "--help" || std::string(argv[2]) == "-h") {
+        std::cout << kUsage;
+        return 0;
+      }
       std::ifstream in(argv[2]);
       if (!in) {
         std::cerr << "cannot open " << argv[2] << "\n";
@@ -1229,6 +1363,9 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_screen(topo, engine);
+    }
+    if (cmd == "prove") {
+      return cmd_prove(topo, rest);
     }
     if (cmd == "cure") {
       if (reject_extras("cure")) return 2;

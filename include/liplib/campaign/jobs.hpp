@@ -25,6 +25,7 @@
 #include "liplib/graph/topology.hpp"
 #include "liplib/lint/lint.hpp"
 #include "liplib/lip/token.hpp"
+#include "liplib/prove/prove.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/xir/xir.hpp"
 
@@ -118,6 +119,40 @@ Job make_lint_crosscheck_job(std::string name, LintCrossCheckSpec spec = {});
 /// `n` cross-check jobs (the keystone campaign; lidtool `campaign lint`).
 std::vector<Job> make_lint_crosscheck_campaign(std::size_t n,
                                                LintCrossCheckSpec spec = {});
+
+/// Static proof of a fixed topology via liplib::prove — mass-proving a
+/// corpus of netlists is a campaign of these.  Outcome: kLive when the
+/// prover returns kProved, kDeadlock on a counterexample (detail carries
+/// the trace depth and the culprit loop), kBudgetExhausted when the
+/// verdict is kUnknown (detail carries the prover's note).  Purely
+/// static: `cycles` reports the search depth reached, not simulation
+/// cycles.
+Job make_prove_job(std::string name, graph::Topology topo,
+                   prove::ProveOptions opts = {});
+
+/// What a prove cross-check job generates and verifies.
+struct ProveCrossCheckSpec {
+  /// Upper bound on make_random_composite segments (drawn per job).
+  std::size_t max_segments = 4;
+  /// ProveOptions overrides applied on top of the per-job defaults
+  /// (worst_case_occupancy is always forced on — the cross-check regime).
+  prove::ProveOptions prove;
+};
+
+/// The prover-vs-linter-vs-simulator agreement check as a job: generates
+/// a random composite topology from the job's deterministic seed
+/// (exactly the lint cross-check recipe, so the corpora coincide) and
+/// demands three-way agreement between the worst-case prove verdict,
+/// the static LIP006 verdict, and the dynamic worst-case screening
+/// verdict — kMismatch on any disagreement; unanimity is kLive (the
+/// lint cross-check convention: the campaign tests the differential,
+/// not the design; an agreed deadlock is a passing job whose detail
+/// says "agreed: deadlock at depth ...").
+Job make_prove_crosscheck_job(std::string name, ProveCrossCheckSpec spec = {});
+
+/// `n` cross-check jobs (lidtool `campaign prove`).
+std::vector<Job> make_prove_crosscheck_campaign(std::size_t n,
+                                                ProveCrossCheckSpec spec = {});
 
 /// Full-data probe measurement of a fixed topology (liplib/probe): the
 /// skeleton is analyzed for the exact steady state, then a

@@ -15,6 +15,9 @@
 // in-model monitors.  check_safety explores the full reachable state
 // space and returns either a clean bill with the state count, or a
 // violation with a minimal-length counterexample trace.
+//
+// liplib::prove composes whole topologies onto this interface (its
+// SkeletonModel adapter); docs/prove.md carries the shared contract.
 
 #pragma once
 
@@ -22,6 +25,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "liplib/support/json.hpp"
 
 namespace liplib::formal {
 
@@ -59,16 +64,38 @@ class Model {
   }
 };
 
+/// One step of a structured counterexample trace.  The first step is the
+/// initial state with an empty choice; each later step records the
+/// environment choice taken from its predecessor.
+struct TraceStep {
+  std::string choice;     ///< environment choice ("" on the initial step)
+  std::string state;      ///< canonical encoded state (raw bytes)
+  std::string described;  ///< Model::describe rendering
+};
+
 /// Outcome of exhaustive reachability.
 struct CheckResult {
   bool ok = false;
   bool exhausted_budget = false;       ///< state budget hit before closure
   std::uint64_t states_explored = 0;   ///< distinct states visited
   std::uint64_t transitions = 0;       ///< transitions expanded
+  /// Peak bytes of search bookkeeping: visited keys + parent choice
+  /// labels + per-record overhead + the frontier (which stores pointers
+  /// into the visited set, not state copies).  formal_test bounds this
+  /// at roughly one state copy per explored state.
+  std::uint64_t peak_tracked_bytes = 0;
   std::string violation;               ///< first (minimal-depth) violation
-  /// Counterexample: described states from initial to the bad transition,
+  std::string violation_choice;        ///< choice that tripped the monitor
+  /// Structured counterexample from the initial state to the state whose
+  /// `violation_choice` successor trips the monitor.  Empty when ok.
+  std::vector<TraceStep> steps;
+  /// Flat human rendering of the same counterexample: described states
   /// interleaved with the environment choices taken.
   std::vector<std::string> trace;
+
+  /// Machine rendering, schema "liplib.check/1" (stable field names;
+  /// states hex-encoded; same conventions as lint diagnostic JSON).
+  Json to_json() const;
 };
 
 /// Explores every reachable state (BFS, so counterexamples are minimal in

@@ -12,7 +12,8 @@
 // close.
 //
 // Requests: {"rpc": "liplib.rpc/1", "kind": <kind>, ...} with kinds
-// lint | screen | profile | campaign | status | shutdown.  Responses
+// lint | screen | profile | campaign | prove | status | shutdown.
+// Responses
 // echo the request's optional "id" verbatim and carry either
 // "ok": true plus a "result" document or "ok": false plus "error".
 // The full field catalog lives in docs/serve.md.
@@ -59,6 +60,7 @@ enum class RequestKind : std::uint8_t {
   kScreen,
   kProfile,
   kCampaign,
+  kProve,
   kStatus,
   kShutdown,
 };
@@ -78,9 +80,14 @@ struct Request {
   std::string engine = "interp";
   std::uint64_t budget = 0;  ///< screen: watchdog cycle budget; 0 = default
   std::uint64_t cycles = 0;  ///< profile: cycles to simulate; 0 = default
-  std::string mode = "fuzz";  ///< campaign: fuzz | lint | probe
+  std::string mode = "fuzz";  ///< campaign: fuzz | lint | probe | prove
   std::uint64_t jobs = 0;    ///< campaign: batch size
   std::uint64_t seed = 1;    ///< campaign: base seed
+  /// prove: proof method, auto | reach | bmc | induction
+  /// (prove::parse_method).
+  std::string method = "auto";
+  std::uint64_t depth = 0;   ///< prove: BMC depth bound; 0 = default
+  bool worst_case = false;   ///< prove: start from worst-case occupancy
 };
 
 /// Validates a parsed request document: schema tag, known kind, known

@@ -507,6 +507,114 @@ std::vector<Job> make_lint_crosscheck_campaign(std::size_t n,
   return jobs;
 }
 
+namespace {
+
+JobResult from_prove(const prove::ProveResult& pr) {
+  JobResult r;
+  r.cycles = pr.depth_reached;
+  switch (pr.verdict) {
+    case prove::Verdict::kProved:
+      r.outcome = Outcome::kLive;
+      r.detail = std::string("proved by ") + prove::method_name(pr.method_used);
+      break;
+    case prove::Verdict::kCounterexample: {
+      r.outcome = Outcome::kDeadlock;
+      std::ostringstream os;
+      os << "deadlock at depth "
+         << (pr.counterexample ? pr.counterexample->depth : 0);
+      if (pr.counterexample && !pr.counterexample->culprit_channels.empty()) {
+        os << "; culprit loop of "
+           << pr.counterexample->culprit_channels.size() << " channels";
+      }
+      r.detail = os.str();
+      break;
+    }
+    case prove::Verdict::kUnknown:
+      r.outcome = Outcome::kBudgetExhausted;
+      r.detail = pr.note.empty() ? "prover returned unknown" : pr.note;
+      break;
+  }
+  return r;
+}
+
+}  // namespace
+
+Job make_prove_job(std::string name, graph::Topology topo,
+                   prove::ProveOptions opts) {
+  return Job{std::move(name),
+             [topo = std::move(topo), opts](const JobContext&) {
+               return from_prove(prove::prove(topo, opts));
+             }};
+}
+
+Job make_prove_crosscheck_job(std::string name, ProveCrossCheckSpec spec) {
+  return Job{std::move(name), [spec](const JobContext& ctx) {
+    Rng rng(ctx.seed);
+    const std::size_t segments =
+        1 + rng.below(std::max<std::size_t>(spec.max_segments, 1));
+    // Same recipe as the lint cross-check, so the corpora coincide and
+    // both deadlocking and live topologies get exercised.
+    const bool risky = rng.chance(1, 2);
+    auto gen = graph::make_random_composite(rng, segments,
+                                            /*allow_half=*/true,
+                                            /*allow_half_in_loops=*/risky);
+
+    prove::ProveOptions popts = spec.prove;
+    popts.worst_case_occupancy = true;
+    const auto pr = prove::prove(gen.topo, popts);
+
+    lint::Options structural;
+    structural.structural_only = true;
+    const bool hazard =
+        lint::run_lint(gen.topo, structural).has_rule("LIP006");
+
+    skeleton::ScreeningOptions wc;
+    wc.worst_case_occupancy = true;
+    const auto verdict =
+        skeleton::screen_for_deadlock(gen.topo, wc, ctx.cycle_budget);
+    JobResult r;
+    r.cycles = verdict.cycles_simulated;
+    if (!verdict.ran_to_steady_state) {
+      r.outcome = Outcome::kBudgetExhausted;
+      r.detail = "no steady state within the cycle budget";
+      return r;
+    }
+    if (pr.verdict == prove::Verdict::kUnknown) {
+      r.outcome = Outcome::kBudgetExhausted;
+      r.detail = "prover returned unknown: " + pr.note;
+      return r;
+    }
+    const bool proved_dead = pr.verdict == prove::Verdict::kCounterexample;
+    if (proved_dead != hazard || proved_dead != verdict.deadlock_found) {
+      r.outcome = Outcome::kMismatch;
+      r.detail = std::string("prove says ") +
+                 (proved_dead ? "deadlock" : "proved") + ", lint says " +
+                 (hazard ? "stop latch" : "clean") + ", screening says " +
+                 (verdict.deadlock_found ? "deadlock" : "live") +
+                 " (segments=" + std::to_string(segments) + ")";
+      return r;
+    }
+    // Agreement is the passing outcome either way (the lint cross-check
+    // convention: the campaign tests the differential, not the design);
+    // the detail records which verdict the triple agreed on.
+    r.outcome = Outcome::kLive;
+    r.detail = proved_dead ? "agreed: " + from_prove(pr).detail
+                           : from_prove(pr).detail;
+    return r;
+  }};
+}
+
+std::vector<Job> make_prove_crosscheck_campaign(std::size_t n,
+                                                ProveCrossCheckSpec spec) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(
+        make_prove_crosscheck_job("prove-xcheck/" + std::to_string(i), spec));
+  }
+  return jobs;
+}
+
 std::vector<graph::RsKind> mix_screen_variant_kinds(
     const graph::Topology& topo, std::uint64_t base_seed,
     std::uint64_t variant) {

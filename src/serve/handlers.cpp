@@ -13,6 +13,7 @@
 #include "liplib/graph/netlist_io.hpp"
 #include "liplib/lint/lint.hpp"
 #include "liplib/pearls/design_io.hpp"
+#include "liplib/prove/prove.hpp"
 #include "liplib/serve/server.hpp"
 #include "liplib/skeleton/skeleton.hpp"
 #include "liplib/telemetry/watchdog.hpp"
@@ -28,7 +29,7 @@ Json ServeContext::status_json() {
   std::lock_guard<std::mutex> lock(mu);
   Json requests = Json::object();
   requests.set("total", requests_total.value());
-  for (int k = 0; k < 6; ++k) {
+  for (int k = 0; k < 7; ++k) {
     requests.set(request_kind_name(static_cast<RequestKind>(k)),
                  requests_by_kind[k].value());
   }
@@ -257,6 +258,37 @@ Computed compute_profile(const Request& req, const ServerOptions& opts) {
   return {result.dump(), dog.tripped()};
 }
 
+// ---- prove --------------------------------------------------------------
+
+/// Static proof via liplib::prove.  Purely deterministic in the request
+/// knobs, so the result is ideal cache fodder: a fleet that keeps
+/// re-proving the same design text is answered from memory.  The engine
+/// field selects the frontier: interp = scalar reference search, sliced
+/// (or compiled) = the 64-way bit-sliced frontier — verdicts are
+/// identical, so like screen requests the engine is a performance knob
+/// that still keys the cache separately.
+Computed compute_prove(const ParsedDesign& d, const Request& req,
+                       const ServerOptions& opts) {
+  prove::ProveOptions popts;
+  popts.skeleton.policy = policy_of(req);
+  popts.worst_case_occupancy = req.worst_case;
+  prove::parse_method(req.method, &popts.method);
+  popts.depth = req.depth;
+  popts.sliced_frontier = req.engine != "interp";
+  popts.max_states = effective_budget(req, opts);
+  const auto pr = prove::prove(d.net.topo, popts);
+  Json result = Json::object()
+                    .set("schema", "liplib.serve.prove/1")
+                    .set("topology_hash", hex64(topology_hash(d.net.topo)))
+                    .set("policy", req.policy)
+                    .set("engine", req.engine)
+                    .set("worst_case", req.worst_case)
+                    .set("verdict", prove::verdict_name(pr.verdict))
+                    .set("exit_code", pr.exit_code())
+                    .set("prove", pr.to_json(d.net.topo));
+  return {result.dump(), pr.verdict == prove::Verdict::kCounterexample};
+}
+
 // ---- campaign -----------------------------------------------------------
 
 Computed compute_campaign(const Request& req, const ServerOptions& opts) {
@@ -273,6 +305,9 @@ Computed compute_campaign(const Request& req, const ServerOptions& opts) {
     }
   } else if (req.mode == "lint") {
     jobs = campaign::make_lint_crosscheck_campaign(
+        static_cast<std::size_t>(req.jobs));
+  } else if (req.mode == "prove") {
+    jobs = campaign::make_prove_crosscheck_campaign(
         static_cast<std::size_t>(req.jobs));
   } else {
     jobs = campaign::make_probe_campaign(static_cast<std::size_t>(req.jobs));
@@ -316,6 +351,14 @@ std::string cache_key(const Request& req, const ParsedDesign* design,
     case RequestKind::kProfile:
       key += "/" + hex64(design->content_hash) +
              "/cycles=" + std::to_string(effective_cycles(req, opts));
+      break;
+    case RequestKind::kProve:
+      key += "/" + hex64(design->content_hash) + "/" + req.policy;
+      key += "/method=" + req.method;
+      key += "/engine=" + req.engine;
+      key += "/depth=" + std::to_string(req.depth);
+      key += req.worst_case ? "/wc=1" : "/wc=0";
+      key += "/budget=" + std::to_string(effective_budget(req, opts));
       break;
     case RequestKind::kCampaign:
       key += "/" + req.mode + "/" + req.policy +
@@ -415,6 +458,9 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
         break;
       case RequestKind::kProfile:
         computed = compute_profile(req, ctx.opts);
+        break;
+      case RequestKind::kProve:
+        computed = compute_prove(design, req, ctx.opts);
         break;
       default: computed = compute_campaign(req, ctx.opts); break;
     }

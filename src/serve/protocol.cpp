@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "liplib/prove/prove.hpp"
 #include "liplib/support/check.hpp"
 
 namespace liplib::serve {
@@ -102,6 +103,7 @@ const char* request_kind_name(RequestKind k) {
     case RequestKind::kScreen: return "screen";
     case RequestKind::kProfile: return "profile";
     case RequestKind::kCampaign: return "campaign";
+    case RequestKind::kProve: return "prove";
     case RequestKind::kStatus: return "status";
     case RequestKind::kShutdown: return "shutdown";
   }
@@ -148,6 +150,7 @@ Request parse_request(const Json& doc) {
   else if (kind == "screen") req.kind = RequestKind::kScreen;
   else if (kind == "profile") req.kind = RequestKind::kProfile;
   else if (kind == "campaign") req.kind = RequestKind::kCampaign;
+  else if (kind == "prove") req.kind = RequestKind::kProve;
   else if (kind == "status") req.kind = RequestKind::kStatus;
   else if (kind == "shutdown") req.kind = RequestKind::kShutdown;
   else throw ApiError("unknown request kind '" + kind + "'");
@@ -169,19 +172,36 @@ Request parse_request(const Json& doc) {
   switch (req.kind) {
     case RequestKind::kLint:
     case RequestKind::kScreen:
-    case RequestKind::kProfile: {
+    case RequestKind::kProfile:
+    case RequestKind::kProve: {
       req.netlist = string_field(doc, "netlist", "");
       if (req.netlist.empty()) {
         throw ApiError(std::string(request_kind_name(req.kind)) +
                        " request requires a non-empty 'netlist' field");
       }
+      if (req.kind == RequestKind::kProve) {
+        req.method = string_field(doc, "method", "auto");
+        prove::Method m;
+        if (!prove::parse_method(req.method, &m)) {
+          throw ApiError("unknown prove method '" + req.method +
+                         "' (expected auto | reach | bmc | induction)");
+        }
+        req.depth = uint_field(doc, "depth", 0);
+        if (const Json* f = doc.find("worst_case")) {
+          if (!f->is_bool()) {
+            throw ApiError("field 'worst_case' must be a boolean");
+          }
+          req.worst_case = f->as_bool();
+        }
+      }
       break;
     }
     case RequestKind::kCampaign: {
       req.mode = string_field(doc, "mode", "fuzz");
-      if (req.mode != "fuzz" && req.mode != "lint" && req.mode != "probe") {
+      if (req.mode != "fuzz" && req.mode != "lint" && req.mode != "probe" &&
+          req.mode != "prove") {
         throw ApiError("unknown campaign mode '" + req.mode +
-                       "' (expected fuzz | lint | probe)");
+                       "' (expected fuzz | lint | probe | prove)");
       }
       req.jobs = uint_field(doc, "jobs", 0);
       if (req.jobs < 1 || req.jobs > 1000000) {

@@ -2,6 +2,13 @@
 // the public entry points.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "liplib/graph/generators.hpp"
 #include "liplib/lip/design.hpp"
@@ -167,5 +174,67 @@ TEST(ApiEdges, SaturateBeforeFinalizeIsFine) {
   EXPECT_NO_THROW(sys->saturate_stations(7));
   EXPECT_NO_THROW(sys->run(10));
 }
+
+// ---- lidtool prove CLI contract -----------------------------------------
+//
+// The prove subcommand's exit codes are an API: 0 proved, 1
+// counterexample, 2 unknown flag / usage error, and `--help` answers 0.
+// LIDTOOL_PATH is injected by the build (tests/CMakeLists.txt).
+
+#ifdef LIDTOOL_PATH
+
+int run_lidtool(const std::string& args) {
+  const std::string cmd =
+      std::string(LIDTOOL_PATH) + " " + args + " >/dev/null 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+/// Writes a netlist to a per-process temp path and returns the path.
+std::string write_lid(const char* name, const std::string& text) {
+  const std::string path = testing::TempDir() + name + "." +
+                           std::to_string(::getpid()) + ".lid";
+  std::ofstream os(path);
+  os << text;
+  return path;
+}
+
+TEST(ApiEdges, LidtoolProveExitCodeContract) {
+  const std::string live = write_lid("live", R"(source src
+process A 1 1
+sink out
+channel src.0 -> A.0
+channel A.0 -> out.0 : F
+)");
+  const std::string latch = write_lid("latch", R"(process P 1 1
+process Q 1 1
+channel P.0 -> Q.0 : H
+channel Q.0 -> P.0 : H
+)");
+
+  EXPECT_EQ(run_lidtool("prove " + live), 0);
+  EXPECT_EQ(run_lidtool("prove " + live + " --induction"), 0);
+  EXPECT_EQ(run_lidtool("prove " + latch), 0);  // latch unreachable at reset
+  EXPECT_EQ(run_lidtool("prove " + latch + " --worst-case"), 1);
+  EXPECT_EQ(run_lidtool("prove " + latch + " --worst-case --json"), 1);
+
+  // Usage errors: unknown flags, bad values and a missing file all
+  // answer 2, never 0/1.
+  EXPECT_EQ(run_lidtool("prove " + live + " --bogus"), 2);
+  EXPECT_EQ(run_lidtool("prove " + live + " --engine warp"), 2);
+  EXPECT_EQ(run_lidtool("prove " + live + " --method bogus"), 2);
+  EXPECT_EQ(run_lidtool("prove " + live + " --depth"), 2);
+  EXPECT_EQ(run_lidtool("prove /nonexistent.lid"), 2);
+  EXPECT_EQ(run_lidtool("prove"), 2);
+
+  // --help is not an error.
+  EXPECT_EQ(run_lidtool("prove --help"), 0);
+  EXPECT_EQ(run_lidtool("--help"), 0);
+
+  std::remove(live.c_str());
+  std::remove(latch.c_str());
+}
+
+#endif  // LIDTOOL_PATH
 
 }  // namespace

@@ -144,6 +144,43 @@ TEST(Campaign, ScreeningJobsMatchKnownVerdicts) {
       << outcome_name(results[1].outcome);
 }
 
+TEST(Campaign, ProveJobsMatchKnownVerdicts) {
+  // Fig. 1 is provably deadlock-free; the half-station ring from
+  // worst-case occupancy is the paper's stop latch, which the prover
+  // must witness with a counterexample.
+  std::vector<Job> jobs;
+  jobs.push_back(make_prove_job("prove/fig1", graph::make_fig1().topo));
+  prove::ProveOptions wc;
+  wc.worst_case_occupancy = true;
+  jobs.push_back(make_prove_job(
+      "prove/half_ring_wc",
+      graph::make_ring_with_tap(1, 1, graph::RsKind::kHalf).topo, wc));
+  const auto results = Engine(EngineOptions{}).run(jobs);
+  EXPECT_EQ(results[0].outcome, Outcome::kLive) << results[0].detail;
+  EXPECT_EQ(results[1].outcome, Outcome::kDeadlock) << results[1].detail;
+  EXPECT_NE(results[1].detail.find("deadlock at depth"), std::string::npos);
+}
+
+TEST(Campaign, ProveCrossCheckCampaignAgreesOnRandomComposites) {
+  // 48 random composites: the prover, the linter and the worst-case
+  // screen must agree on every one (any disagreement is kMismatch).
+  const auto jobs = make_prove_crosscheck_campaign(48);
+  ASSERT_EQ(jobs.size(), 48u);
+  EngineOptions opts;
+  opts.base_seed = 7;
+  // Agreement (even on a deadlock) is kLive — the campaign tests the
+  // differential, so `lidtool campaign prove` exits 0 unless the
+  // analyses disagree.  The detail records which verdict was agreed.
+  std::size_t agreed_deadlocks = 0;
+  for (const auto& r : Engine(opts).run(jobs)) {
+    ASSERT_EQ(r.outcome, Outcome::kLive)
+        << r.name << ": " << outcome_name(r.outcome) << " " << r.detail;
+    agreed_deadlocks += r.detail.find("agreed: deadlock") != std::string::npos;
+  }
+  EXPECT_GT(agreed_deadlocks, 0u);
+  EXPECT_LT(agreed_deadlocks, 48u);
+}
+
 TEST(Campaign, WorkIsSharedAcrossWorkers) {
   // 64 trivial jobs on 4 threads: every worker should execute some, and
   // the counts must sum to the batch.

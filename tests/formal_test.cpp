@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "liplib/formal/checker.hpp"
 #include "liplib/formal/protocol_models.hpp"
 
@@ -144,6 +146,82 @@ TEST(Formal, CheckerReportsBudgetExhaustion) {
   EXPECT_FALSE(result.ok);
   EXPECT_TRUE(result.exhausted_budget);
   EXPECT_GE(result.states_explored, 999u);
+}
+
+/// A bounded chain of fat states (the counter rides in the first bytes,
+/// the rest is ballast), for pinning the checker's memory accounting.
+class FatChainModel final : public Model {
+ public:
+  FatChainModel(std::size_t state_bytes, std::uint32_t states)
+      : state_bytes_(state_bytes), states_(states) {}
+
+  std::string initial() const override { return make_state(0); }
+  std::vector<Succ> successors(const std::string& s) const override {
+    std::uint32_t n = 0;
+    std::memcpy(&n, s.data(), sizeof(n));
+    if (n + 1 >= states_) return {};
+    return {{make_state(n + 1), "tick", std::nullopt}};
+  }
+
+ private:
+  std::string make_state(std::uint32_t n) const {
+    std::string s(state_bytes_, '\xab');
+    std::memcpy(s.data(), &n, sizeof(n));
+    return s;
+  }
+  std::size_t state_bytes_;
+  std::uint32_t states_;
+};
+
+TEST(Formal, CheckerPeakMemoryIsOneStateCopyPerState) {
+  // The frontier stores pointers into the visited set, not state
+  // copies, so the bookkeeping peak is ~one state copy per explored
+  // state plus a fixed per-record overhead.  A frontier that copied
+  // states (the old implementation) would double the state term and
+  // blow this bound.
+  constexpr std::size_t kStateBytes = 256;
+  constexpr std::uint32_t kStates = 4096;
+  const FatChainModel model(kStateBytes, kStates);
+  const auto result = formal::check_safety(model);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.states_explored, kStates);
+  EXPECT_GE(result.peak_tracked_bytes,
+            std::uint64_t{kStates} * kStateBytes);
+  EXPECT_LE(result.peak_tracked_bytes,
+            std::uint64_t{kStates} * (kStateBytes + 160));
+}
+
+TEST(Formal, CheckResultJsonContract) {
+  // Violation runs render schema liplib.check/1 with the minimal trace:
+  // hex states, the choice per step, and the tripping transition.
+  const PlantedBugModel model(3);
+  const auto bad = formal::check_safety(model);
+  ASSERT_FALSE(bad.ok);
+  const Json j = bad.to_json();
+  EXPECT_EQ(j.find("schema")->as_string(), "liplib.check/1");
+  EXPECT_FALSE(j.find("ok")->as_bool());
+  EXPECT_EQ(j.find("violation")->as_string(), "planted bug");
+  EXPECT_EQ(j.find("violation_choice")->as_string(), "descend");
+  const Json* steps = j.find("trace");
+  ASSERT_NE(steps, nullptr);
+  ASSERT_EQ(steps->size(), bad.steps.size());
+  // First step is the initial state (no choice); states are hex bytes.
+  EXPECT_EQ(steps->at(0).find("choice")->as_string(), "");
+  const std::string hex0 = steps->at(0).find("state")->as_string();
+  EXPECT_EQ(hex0, "00");
+  // Round-trips through the Json parser.
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.find("states_explored")->as_uint(), bad.states_explored);
+  EXPECT_EQ(back.find("peak_tracked_bytes")->as_uint(),
+            bad.peak_tracked_bytes);
+
+  // Clean runs still carry the counters, with no trace members.
+  const FatChainModel chain(8, 4);
+  const auto good = formal::check_safety(chain);
+  ASSERT_TRUE(good.ok);
+  const Json jg = good.to_json();
+  EXPECT_TRUE(jg.find("ok")->as_bool());
+  EXPECT_EQ(jg.find("trace")->size(), 0u);
 }
 
 /// A "relay station" that drops data under back pressure: the monitors

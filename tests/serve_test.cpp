@@ -356,6 +356,88 @@ TEST(Handlers, ScreenCachedResponseIsByteIdenticalToFresh) {
             1u);
 }
 
+TEST(Handlers, ProveRequestsAreProvedCachedAndKeyedByKnobs) {
+  ServeContext ctx;
+
+  // Fig. 1 from reset: proved, and the second ask is a byte-identical
+  // cache hit.
+  const std::string req = request_json("prove", kFig1);
+  std::string r1, r2;
+  bool c1 = false, c2 = false, ok1 = false, ok2 = false;
+  split_response(handle_payload(req, ctx), &r1, &c1, &ok1);
+  split_response(handle_payload(req, ctx), &r2, &c2, &ok2);
+  ASSERT_TRUE(ok1 && ok2) << r1;
+  EXPECT_FALSE(c1);
+  EXPECT_TRUE(c2);
+  EXPECT_EQ(r1, r2);
+  const Json proved = Json::parse(r1);
+  EXPECT_EQ(proved.find("schema")->as_string(), "liplib.serve.prove/1");
+  EXPECT_EQ(proved.find("verdict")->as_string(), "proved");
+  EXPECT_EQ(proved.find("exit_code")->as_uint(), 0u);
+
+  // The half-station ring under worst-case occupancy: counterexample,
+  // counted as a deadlock verdict, with the trace in the result.
+  std::string r3;
+  bool c3 = false, ok3 = false;
+  split_response(handle_payload(request_json("prove", kHalfRing,
+                                             "\"worst_case\":true"),
+                                ctx),
+                 &r3, &c3, &ok3);
+  ASSERT_TRUE(ok3) << r3;
+  const Json dead = Json::parse(r3);
+  EXPECT_EQ(dead.find("verdict")->as_string(), "counterexample");
+  EXPECT_EQ(dead.find("exit_code")->as_uint(), 1u);
+  ASSERT_NE(dead.find("prove"), nullptr);
+  EXPECT_NE(dead.find("prove")->find("counterexample"), nullptr);
+  EXPECT_EQ(ctx.status_json()
+                .find("requests")->find("deadlock_verdicts")->as_uint(),
+            1u);
+
+  // Every knob keys the cache separately.
+  handle_payload(request_json("prove", kFig1, "\"method\":\"induction\""),
+                 ctx);
+  handle_payload(request_json("prove", kFig1, "\"worst_case\":true"), ctx);
+  handle_payload(request_json("prove", kFig1, "\"engine\":\"sliced\""), ctx);
+  EXPECT_EQ(ctx.cache.stats().entries, 5u);
+
+  // Validation: bogus method is a request error, missing netlist too.
+  EXPECT_THROW(parse_request(Json::parse(request_json(
+                   "prove", "x", "\"method\":\"bogus\""))),
+               ApiError);
+  EXPECT_THROW(parse_request(Json::parse(request_json("prove", nullptr))),
+               ApiError);
+  const auto parsed = parse_request(Json::parse(request_json(
+      "prove", kHalfRing,
+      "\"method\":\"bmc\",\"depth\":7,\"worst_case\":true")));
+  EXPECT_EQ(parsed.kind, RequestKind::kProve);
+  EXPECT_EQ(parsed.method, "bmc");
+  EXPECT_EQ(parsed.depth, 7u);
+  EXPECT_TRUE(parsed.worst_case);
+}
+
+TEST(Handlers, ProveCampaignModeRunsTheCrossCheck) {
+  ServeContext ctx;
+  std::string r;
+  bool cached = false, ok = false;
+  split_response(handle_payload(request_json("campaign", nullptr,
+                                             "\"mode\":\"prove\",\"jobs\":8,"
+                                             "\"seed\":7"),
+                                ctx),
+                 &r, &cached, &ok);
+  ASSERT_TRUE(ok) << r;
+  const Json result = Json::parse(r);
+  EXPECT_EQ(result.find("mode")->as_string(), "prove");
+  EXPECT_EQ(result.find("jobs")->as_uint(), 8u);
+  ASSERT_NE(result.find("aggregate"), nullptr);
+  // Prover/lint/screen disagreement would surface as a mismatch outcome.
+  const Json* agg = result.find("aggregate");
+  if (const Json* by = agg->find("outcomes")) {
+    if (const Json* mm = by->find("mismatch")) {
+      EXPECT_EQ(mm->as_uint(), 0u);
+    }
+  }
+}
+
 TEST(Handlers, DistinctPoliciesAndBudgetsAreDistinctCacheEntries) {
   ServeContext ctx;
   handle_payload(request_json("screen", kFig1), ctx);
