@@ -15,6 +15,9 @@
 //   lidtool dot       <file.lid>    graphviz rendering
 //   lidtool campaign  ...           parallel mass-simulation campaigns
 //                                   (sweep / fuzz / probe / t1; see --help)
+//   lidtool merge     ...           deterministic reunion of shard partials
+//   lidtool dist      ...           distributed campaigns: lease coordinator
+//                                   and pull workers (see docs/dist.md)
 //   lidtool replay    <bundle.json> re-run a watchdog post-mortem bundle and
 //                                   check the deadlock reproduces
 //   lidtool bench diff <old> <new>  perf regression gate over BENCH_*.json
@@ -42,6 +45,9 @@
 #include "liplib/campaign/campaign.hpp"
 #include "liplib/campaign/jobs.hpp"
 #include "liplib/campaign/report.hpp"
+#include "liplib/dist/coordinator.hpp"
+#include "liplib/dist/shard.hpp"
+#include "liplib/dist/worker.hpp"
 #include "liplib/graph/analysis.hpp"
 #include "liplib/graph/equalize.hpp"
 #include "liplib/graph/mcr.hpp"
@@ -142,7 +148,7 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
                                 (750 randomized runs) on the engine
   campaign options:
     --threads N   worker threads (default: hardware)
-    --seed S      campaign base seed (default 1)
+    --seed S      campaign base seed (default 1; decimal or 0x-hex)
     --budget B    per-job cycle budget (default 2^18)
     --stations LO:HI   sweep station-count range (default 1:4)
     --policy variant|strict|both   stop policy (default both for sweep,
@@ -153,6 +159,30 @@ campaign commands (parallel mass simulation; see docs/campaign.md):
     --variants N  mix: number of kind-variants to screen (default 64)
     --json PATH   write the aggregated report as JSON
     --csv PATH    write per-job results as CSV
+    --shard i/N   run only shard i of N (contiguous job-index slice with
+                  global job identity); requires --out
+    --out PATH    write the shard's liplib.dist.partial/1 document for
+                  `lidtool merge` instead of the normal report
+
+distributed campaign commands (see docs/dist.md):
+  merge <a.json> <b.json> ...   deterministically reunite shard partials;
+                                the merged aggregate is byte-identical to
+                                the unsharded run's --json document
+    --json PATH    write the merged aggregate as JSON
+  dist coordinate <mode> <N>    run the lease coordinator for a named
+                                campaign (mode: fuzz|lint|probe|prove) and
+                                print the merged aggregate when done
+    --port N       TCP port (default 0 = ephemeral, printed on start)
+    --shards N     shards to split the campaign into (default 4)
+    --seed S       campaign base seed (default 1; decimal or 0x-hex)
+    --budget B     per-job cycle budget (default 2^18)
+    --lease-ms N   lease deadline before re-dispatch (default 30000)
+    --policy P / --shape S / --engine E   fuzz-job knobs as for campaign
+    --json PATH    write the merged aggregate as JSON
+  dist work                     pull shard leases from a coordinator, run
+                                them, submit partial aggregates
+    --port N       coordinator port (required)
+    --threads N    engine threads per shard (default: hardware)
 
 telemetry commands (see docs/telemetry.md):
   replay    <bundle.json>       reconstruct the design from a watchdog
@@ -179,7 +209,7 @@ serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
                                 exit 0 live/clean, 1 diagnosed, 2 error
     kinds: lint <file.lid> | screen <file.lid> | profile <file.lid> |
            prove <file.lid> | campaign <fuzz|lint|probe|prove> <jobs> |
-           status | shutdown
+           status | shutdown | dist-status
     --port N       daemon port (default 7177)
     --policy P     variant | strict (screen / prove / campaign)
     --engine E     interp | compiled | sliced (screen / prove / campaign)
@@ -189,6 +219,7 @@ serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
     --depth K      BMC depth bound (prove)
     --worst-case   prove from worst-case occupancy
     --seed S       campaign base seed (default 1)
+    --coordinator N   dist coordinator port to relay (dist-status)
     --id X         request id echoed in the response
 
 other:
@@ -738,6 +769,17 @@ struct CampaignArgs {
   std::size_t variants = 64;  ///< campaign mix: kind variants to screen
   std::string json_path;
   std::string csv_path;
+  /// --shard i/N: run only the planned slice of the job vector (with
+  /// global job identity) and export a liplib.dist.partial/1 document
+  /// to `out_path` instead of the normal report.
+  bool has_shard = false;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string out_path;
+  /// Canonical campaign identity for the shard manifest; filled by the
+  /// per-mode command once defaults are resolved, so every process
+  /// running the same command line renders the same string.
+  std::string spec_id;
   std::vector<std::string> positional;
 };
 
@@ -745,12 +787,35 @@ const char* policy_label(lip::StopPolicy p) {
   return p == lip::StopPolicy::kCarloniStrict ? "strict" : "variant";
 }
 
+const char* shape_label(campaign::FuzzSpec::Shape s) {
+  switch (s) {
+    case campaign::FuzzSpec::Shape::kReconvergent: return "reconvergent";
+    case campaign::FuzzSpec::Shape::kComposite: return "composite";
+    case campaign::FuzzSpec::Shape::kFeedforward: return "feedforward";
+  }
+  return "composite";
+}
+
+std::string policies_label(const std::vector<lip::StopPolicy>& ps) {
+  std::string out;
+  for (const auto p : ps) {
+    if (!out.empty()) out += ',';
+    out += policy_label(p);
+  }
+  return out;
+}
+
 /// stoull with a readable diagnostic ("--seed expects a number, got
 /// 'xyz'") instead of the bare std::invalid_argument from the library.
+/// Accepts 0x-prefixed hex (seeds are naturally quoted in hex: failure
+/// reports print them that way); trailing garbage is always rejected,
+/// so "1x" or "0x12g3" fail instead of silently truncating.
 std::uint64_t parse_u64(const std::string& text, const std::string& what) {
   try {
+    const bool hex = text.size() > 2 && text[0] == '0' &&
+                     (text[1] == 'x' || text[1] == 'X');
     std::size_t used = 0;
-    const std::uint64_t v = std::stoull(text, &used);
+    const std::uint64_t v = std::stoull(text, &used, hex ? 16 : 10);
     if (used != text.size()) {
       throw ApiError(what + " expects a number, got '" + text + "'");
     }
@@ -830,6 +895,13 @@ CampaignArgs parse_campaign_args(int argc, char** argv, int first) {
       args.json_path = value("--json");
     } else if (a == "--csv") {
       args.csv_path = value("--csv");
+    } else if (a == "--shard") {
+      const auto [index, count] = dist::parse_shard_token(value("--shard"));
+      args.has_shard = true;
+      args.shard_index = index;
+      args.shard_count = count;
+    } else if (a == "--out") {
+      args.out_path = value("--out");
     } else if (!a.empty() && a[0] == '-') {
       throw ApiError("unknown campaign option '" + a + "'");
     } else {
@@ -839,19 +911,9 @@ CampaignArgs parse_campaign_args(int argc, char** argv, int first) {
   return args;
 }
 
-/// Runs a job batch, prints the aggregate and failures, writes exports.
-/// Returns 0 when every job is live.
-int run_campaign_and_report(const std::vector<campaign::Job>& jobs,
-                            const CampaignArgs& args) {
-  campaign::RunStats stats;
-  const auto results = campaign::Engine(args.engine).run(jobs, &stats);
-  const auto agg = campaign::aggregate(results);
-
-  std::cout << jobs.size() << " jobs on " << stats.threads
-            << " worker thread(s), base seed " << args.engine.base_seed
-            << ", " << stats.steals << " steals, " << agg.total_cycles
-            << " simulated cycles, " << stats.wall_seconds << " s wall\n\n";
-
+/// Prints the outcome histogram, throughput distribution and failures
+/// of an aggregate — shared by the run, merge and dist reports.
+void print_aggregate_tables(const campaign::Aggregate& agg) {
   Table hist({"outcome", "jobs"});
   for (const auto& [o, n] : agg.outcomes) {
     if (n) hist.add_row({campaign::outcome_name(o), std::to_string(n)});
@@ -882,6 +944,60 @@ int run_campaign_and_report(const std::vector<campaign::Job>& jobs,
       std::cout << "... and " << agg.failures.size() - show << " more\n";
     }
   }
+}
+
+/// `--shard i/N --out partial.json`: run only the planned slice of the
+/// full job vector — with index_base = lo, so every job keeps its
+/// global (index, seed) identity — and export the slice's aggregate as
+/// a liplib.dist.partial/1 document for `lidtool merge`.
+int run_shard_and_export(const std::vector<campaign::Job>& jobs,
+                         const CampaignArgs& args) {
+  LIPLIB_EXPECT(!args.out_path.empty(),
+                "--shard requires --out FILE for the partial aggregate");
+  const auto range =
+      dist::shard_range(jobs.size(), args.shard_index, args.shard_count);
+  const std::vector<campaign::Job> slice(
+      jobs.begin() + static_cast<std::ptrdiff_t>(range.lo),
+      jobs.begin() + static_cast<std::ptrdiff_t>(range.hi));
+  campaign::EngineOptions eopts = args.engine;
+  eopts.index_base = range.lo;
+  campaign::RunStats stats;
+  const auto results = campaign::Engine(eopts).run(slice, &stats);
+  const auto agg = campaign::aggregate(results);
+  const auto manifest = dist::make_manifest(
+      args.spec_id, jobs.size(), eopts.base_seed, eopts.cycle_budget,
+      xir::engine_mode_name(args.eval), range);
+  std::ofstream os(args.out_path);
+  if (!os) {
+    std::cerr << "cannot write " << args.out_path << "\n";
+    return 2;
+  }
+  os << dist::partial_to_json(manifest, agg).dump(2) << "\n";
+  std::cout << "shard " << range.index << "/" << range.count << ": jobs ["
+            << range.lo << ", " << range.hi << ") of " << jobs.size()
+            << ", base seed " << eopts.base_seed << ", " << stats.threads
+            << " thread(s), " << agg.total_cycles
+            << " simulated cycles\nwrote " << args.out_path << "\n";
+  return agg.all_live() ? 0 : 1;
+}
+
+/// Runs a job batch, prints the aggregate and failures, writes exports.
+/// Returns 0 when every job is live.
+int run_campaign_and_report(const std::vector<campaign::Job>& jobs,
+                            const CampaignArgs& args) {
+  if (args.has_shard || !args.out_path.empty()) {
+    return run_shard_and_export(jobs, args);
+  }
+  campaign::RunStats stats;
+  const auto results = campaign::Engine(args.engine).run(jobs, &stats);
+  const auto agg = campaign::aggregate(results);
+
+  std::cout << jobs.size() << " jobs on " << stats.threads
+            << " worker thread(s), base seed " << args.engine.base_seed
+            << ", " << stats.steals << " steals, " << agg.total_cycles
+            << " simulated cycles, " << stats.wall_seconds << " s wall\n\n";
+
+  print_aggregate_tables(agg);
 
   if (!args.json_path.empty()) {
     std::ofstream os(args.json_path);
@@ -904,6 +1020,12 @@ int cmd_campaign_sweep(const graph::Topology& base, CampaignArgs args) {
     args.policies = {lip::StopPolicy::kCasuDiscardOnVoid,
                      lip::StopPolicy::kCarloniStrict};
   }
+  args.spec_id = "lidtool/sweep;netlist=" +
+                 std::to_string(serve::topology_hash(base)) +
+                 ";stations=" + std::to_string(args.station_lo) + ":" +
+                 std::to_string(args.station_hi) +
+                 ";policies=" + policies_label(args.policies) +
+                 ";engine=" + xir::engine_mode_name(args.eval);
   std::vector<campaign::Job> jobs;
   for (std::size_t k = args.station_lo; k <= args.station_hi; ++k) {
     graph::Topology variant = base;
@@ -935,6 +1057,10 @@ int cmd_campaign_fuzz(std::size_t n, CampaignArgs args) {
   if (args.policies.empty()) {
     args.policies = {lip::StopPolicy::kCasuDiscardOnVoid};
   }
+  args.spec_id = "lidtool/fuzz;n=" + std::to_string(n) +
+                 ";shape=" + shape_label(args.shape) +
+                 ";policies=" + policies_label(args.policies) +
+                 ";engine=" + xir::engine_mode_name(args.eval);
   std::vector<campaign::Job> jobs;
   for (std::size_t i = 0; i < n; ++i) {
     campaign::FuzzSpec spec;
@@ -959,6 +1085,12 @@ int cmd_campaign_mix(graph::Topology topo, CampaignArgs args) {
   if (!args.policies.empty()) spec.skeleton.policy = args.policies.front();
   spec.variants = args.variants;
   spec.engine = args.eval_set ? args.eval : xir::EngineMode::kSliced;
+  args.eval = spec.engine;  // the manifest names the engine actually run
+  args.spec_id = "lidtool/mix;netlist=" +
+                 std::to_string(serve::topology_hash(spec.topo)) +
+                 ";variants=" + std::to_string(spec.variants) +
+                 ";policy=" + policy_label(spec.skeleton.policy) +
+                 ";engine=" + xir::engine_mode_name(spec.engine);
   std::cout << "screening " << spec.variants
             << " station-kind variants, engine "
             << xir::engine_mode_name(spec.engine) << "\n\n";
@@ -1005,6 +1137,7 @@ int cmd_campaign(int argc, char** argv) {
     }
     const std::size_t n =
         static_cast<std::size_t>(parse_u64(args.positional[0], "lint count"));
+    args.spec_id = "lidtool/lint;n=" + std::to_string(n);
     return run_campaign_and_report(campaign::make_lint_crosscheck_campaign(n),
                                    args);
   }
@@ -1015,6 +1148,7 @@ int cmd_campaign(int argc, char** argv) {
     }
     const std::size_t n =
         static_cast<std::size_t>(parse_u64(args.positional[0], "probe count"));
+    args.spec_id = "lidtool/probe;n=" + std::to_string(n);
     return run_campaign_and_report(campaign::make_probe_campaign(n), args);
   }
   if (mode == "prove") {
@@ -1024,6 +1158,7 @@ int cmd_campaign(int argc, char** argv) {
     }
     const std::size_t n =
         static_cast<std::size_t>(parse_u64(args.positional[0], "prove count"));
+    args.spec_id = "lidtool/prove;n=" + std::to_string(n);
     return run_campaign_and_report(campaign::make_prove_crosscheck_campaign(n),
                                    args);
   }
@@ -1043,9 +1178,209 @@ int cmd_campaign(int argc, char** argv) {
   if (mode == "t1") {
     std::cout << "EXPERIMENTS.md T1 fuzz pass: 300 random reconvergences "
                  "x 2 policies + 150 random composites = 750 runs\n\n";
+    args.spec_id = "lidtool/t1";
     return run_campaign_and_report(campaign::make_t1_fuzz_campaign(), args);
   }
   std::cerr << "unknown campaign mode '" << mode << "'\n" << kUsage;
+  return 2;
+}
+
+// ---- merge / dist subcommands ---------------------------------------------
+
+/// `lidtool merge a.json b.json ...`: deterministic reunion of shard
+/// partials.  Validates the manifests (same campaign, ranges tile the
+/// whole job vector), folds the aggregates with campaign::merge and
+/// writes/prints the result — byte-identical to the single-process
+/// `campaign ... --json` document.
+int cmd_merge(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string json_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      LIPLIB_EXPECT(i + 1 < argc, "--json requires a file name");
+      json_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown merge option '" << a << "'\n\n" << kUsage;
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "merge requires at least one partial.json\n\n" << kUsage;
+    return 2;
+  }
+  std::vector<dist::Partial> parts;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    parts.push_back(dist::partial_from_json(Json::parse(ss.str())));
+  }
+  const std::string campaign_spec = parts.front().manifest.campaign;
+  const auto agg = dist::merge_partials(std::move(parts));
+  std::cout << "merged " << files.size() << " partial(s) of campaign '"
+            << campaign_spec << "': " << agg.total << " jobs, "
+            << agg.total_cycles << " simulated cycles\n\n";
+  print_aggregate_tables(agg);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    os << campaign::to_json(agg).dump(2) << "\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return agg.all_live() ? 0 : 1;
+}
+
+/// `lidtool dist coordinate <mode> <jobs>`: run the straggler-aware
+/// coordinator for a named campaign and print the merged aggregate.
+int cmd_dist_coordinate(int argc, char** argv) {
+  dist::CoordinatorOptions opts;
+  std::string json_path;
+  std::vector<std::string> positional;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      LIPLIB_EXPECT(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--port") {
+      opts.port =
+          static_cast<std::uint16_t>(parse_u64(value("--port"), "--port"));
+    } else if (a == "--shards") {
+      opts.shards =
+          static_cast<std::size_t>(parse_u64(value("--shards"), "--shards"));
+      LIPLIB_EXPECT(opts.shards >= 1, "--shards must be at least 1");
+    } else if (a == "--seed") {
+      opts.base_seed = parse_u64(value("--seed"), "--seed");
+    } else if (a == "--budget") {
+      opts.cycle_budget = parse_u64(value("--budget"), "--budget");
+    } else if (a == "--lease-ms") {
+      opts.lease_ms = parse_u64(value("--lease-ms"), "--lease-ms");
+    } else if (a == "--policy") {
+      const std::string v = value("--policy");
+      if (v == "strict") {
+        opts.spec.policy = lip::StopPolicy::kCarloniStrict;
+      } else if (v == "variant") {
+        opts.spec.policy = lip::StopPolicy::kCasuDiscardOnVoid;
+      } else {
+        throw ApiError("unknown policy '" + v + "'");
+      }
+    } else if (a == "--shape") {
+      const std::string v = value("--shape");
+      if (v == "composite") {
+        opts.spec.shape = campaign::FuzzSpec::Shape::kComposite;
+      } else if (v == "reconvergent") {
+        opts.spec.shape = campaign::FuzzSpec::Shape::kReconvergent;
+      } else if (v == "feedforward") {
+        opts.spec.shape = campaign::FuzzSpec::Shape::kFeedforward;
+      } else {
+        throw ApiError("unknown fuzz shape '" + v + "'");
+      }
+    } else if (a == "--engine") {
+      const std::string v = value("--engine");
+      LIPLIB_EXPECT(xir::parse_engine_mode(v, &opts.spec.engine),
+                    "unknown engine '" + v +
+                        "' (expected interp | compiled | sliced)");
+    } else if (a == "--json") {
+      json_path = value("--json");
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown dist coordinate option '" << a << "'\n\n"
+                << kUsage;
+      return 2;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "dist coordinate requires <fuzz|lint|probe|prove> "
+                 "<jobs>\n\n"
+              << kUsage;
+    return 2;
+  }
+  opts.spec.mode = positional[0];
+  opts.spec.jobs =
+      static_cast<std::size_t>(parse_u64(positional[1], "dist jobs"));
+  LIPLIB_EXPECT(opts.spec.jobs >= 1, "dist jobs must be at least 1");
+
+  dist::Coordinator coord(opts);
+  coord.start();
+  std::cout << "liplib.dist/1 coordinating '"
+            << dist::named_campaign_to_string(opts.spec) << "' on 127.0.0.1:"
+            << coord.port() << " (" << opts.shards
+            << " shard(s), lease " << opts.lease_ms
+            << " ms); workers: `lidtool dist work --port " << coord.port()
+            << "`\n"
+            << std::flush;
+  const auto agg = coord.wait();
+  const auto stats = coord.stats();
+  std::cout << "campaign done: " << stats.shards_done << "/"
+            << stats.shards_total << " shards, " << stats.leases_issued
+            << " lease(s), " << stats.redispatches << " re-dispatch(es), "
+            << stats.duplicates << " duplicate(s), " << stats.bytes_merged
+            << " bytes merged\n\n";
+  print_aggregate_tables(agg);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    os << campaign::to_json(agg).dump(2) << "\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return agg.all_live() ? 0 : 1;
+}
+
+/// `lidtool dist work`: pull shard leases from a coordinator until the
+/// campaign is done.
+int cmd_dist_work(int argc, char** argv) {
+  dist::WorkerOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      LIPLIB_EXPECT(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--port") {
+      opts.port =
+          static_cast<std::uint16_t>(parse_u64(value("--port"), "--port"));
+    } else if (a == "--threads") {
+      opts.threads =
+          static_cast<unsigned>(parse_u64(value("--threads"), "--threads"));
+    } else if (a == "--die-after-lease") {
+      opts.die_after_lease = static_cast<std::size_t>(
+          parse_u64(value("--die-after-lease"), "--die-after-lease"));
+    } else {
+      std::cerr << "unknown dist work option '" << a << "'\n\n" << kUsage;
+      return 2;
+    }
+  }
+  if (opts.port == 0) {
+    std::cerr << "dist work requires --port <coordinator port>\n\n" << kUsage;
+    return 2;
+  }
+  const auto stats = dist::run_worker(opts);
+  std::cout << "worker done: " << stats.leases << " lease(s), "
+            << stats.submitted << " partial(s) submitted, " << stats.rejected
+            << " dropped as duplicate(s)"
+            << (stats.coordinator_gone ? ", coordinator gone" : "") << "\n";
+  return 0;
+}
+
+int cmd_dist(int argc, char** argv) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "coordinate") return cmd_dist_coordinate(argc, argv);
+  if (sub == "work") return cmd_dist_work(argc, argv);
+  std::cerr << "dist requires a role: coordinate | work\n\n" << kUsage;
   return 2;
 }
 
@@ -1130,6 +1465,9 @@ int cmd_client(int argc, char** argv) {
       request.set("depth", parse_u64(value("--depth"), "--depth"));
     } else if (a == "--worst-case") {
       request.set("worst_case", true);
+    } else if (a == "--coordinator") {
+      request.set("port",
+                  parse_u64(value("--coordinator"), "--coordinator"));
     } else if (a == "--id") {
       request.set("id", value("--id"));
     } else if (!a.empty() && a[0] == '-') {
@@ -1143,7 +1481,7 @@ int cmd_client(int argc, char** argv) {
   }
   if (kind.empty()) {
     std::cerr << "client requires a request kind: lint | screen | profile | "
-                 "prove | campaign | status | shutdown\n\n"
+                 "prove | campaign | status | shutdown | dist-status\n\n"
               << kUsage;
     return 2;
   }
@@ -1170,7 +1508,8 @@ int cmd_client(int argc, char** argv) {
     }
     request.set("mode", positional[0]);
     request.set("jobs", parse_u64(positional[1], "campaign jobs"));
-  } else if (kind == "status" || kind == "shutdown") {
+  } else if (kind == "status" || kind == "shutdown" ||
+             kind == "dist-status") {
     if (!positional.empty()) {
       std::cerr << "client " << kind << " takes no arguments\n";
       return 2;
@@ -1235,6 +1574,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "campaign") return cmd_campaign(argc, argv);
+    if (cmd == "merge") return cmd_merge(argc, argv);
+    if (cmd == "dist") return cmd_dist(argc, argv);
     if (cmd == "bench") return cmd_bench(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);

@@ -50,6 +50,11 @@ enum class Outcome {
 /// in JSON/CSV exports.
 const char* outcome_name(Outcome o);
 
+/// Inverse of outcome_name: fills `out` and returns true for a known
+/// stable name, returns false otherwise.  Used when partial-aggregate
+/// JSON files are read back for the distributed merge.
+bool parse_outcome(const std::string& name, Outcome* out);
+
 /// Per-job deterministic seed: SplitMix64 mix of the campaign base seed
 /// and the job index.  This is the *only* source of randomness a job may
 /// use (via JobContext::seed / the Rng constructed from it), which is
@@ -105,6 +110,13 @@ struct EngineOptions {
   std::uint64_t base_seed = 1;
   /// Cycle budget handed to every job through its context.
   std::uint64_t cycle_budget = 1u << 20;
+  /// Global index of the first job in this run.  A sharded campaign
+  /// (liplib/dist) hands each shard the contiguous slice [lo, hi) of
+  /// the full job vector and sets index_base = lo, so job `i` of the
+  /// slice sees the same (index, seed) context it would in the
+  /// unsharded run — the whole determinism argument of the distributed
+  /// merge reduces to this one line.
+  std::size_t index_base = 0;
   /// Jobs per work unit in the submit path.  Small jobs (a ~30 µs
   /// skeleton screen) lose everything to per-job deque traffic, so the
   /// pool hands out fixed-size chunks of consecutive indices instead of

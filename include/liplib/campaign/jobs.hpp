@@ -201,6 +201,27 @@ struct MixScreenSpec {
 /// jobs), each job's detail carrying the per-variant outcome tally.
 std::vector<Job> make_mix_screen_campaign(MixScreenSpec spec);
 
+/// A generated campaign identified by a stable wire name — the
+/// self-contained campaign families (no input netlist) that the serve
+/// daemon and the distributed layer (liplib/dist) rebuild anywhere from
+/// the spec alone.
+struct NamedCampaignSpec {
+  std::string mode = "fuzz";  ///< fuzz | lint | probe | prove
+  std::size_t jobs = 0;       ///< batch size
+  /// fuzz only: stop policy, topology shape, skeleton evaluator.  The
+  /// other modes draw everything from each job's deterministic seed.
+  lip::StopPolicy policy = lip::StopPolicy::kCasuDiscardOnVoid;
+  FuzzSpec::Shape shape = FuzzSpec::Shape::kComposite;
+  xir::EngineMode engine = xir::EngineMode::kInterp;
+};
+
+/// Builds the job vector of a named campaign.  A pure function of the
+/// spec — job `i` of mode "fuzz" is always make_fuzz_job("fuzz/<i>",
+/// ...) — so two processes handed the same spec construct identical
+/// job vectors, which is what lets a campaign shard across machines by
+/// job-index range alone.  Throws ApiError on an unknown mode.
+std::vector<Job> make_named_campaign(const NamedCampaignSpec& spec);
+
 /// The kind mix a variant index denotes, in the xir program's station
 /// order (channel-major).  Exposed so differential tests can replay one
 /// variant in isolation.

@@ -72,8 +72,32 @@ struct Aggregate {
 };
 
 /// Folds a result vector (as returned by Engine::run, job-index order)
-/// into an Aggregate.
+/// into an Aggregate.  Implemented as a merge() fold over contiguous
+/// blocks, so the single-process aggregate and a sharded merge run the
+/// exact same combining code and cannot drift.
 Aggregate aggregate(const std::vector<JobResult>& results);
+
+/// The pure combining fold behind every aggregate in the repo: merges
+/// two aggregates over *disjoint* job-index sets into the aggregate of
+/// their union.  Associative, commutative up to failure ordering
+/// (failures are merged by job index), with aggregate({}) as the
+/// identity — so any tree of merges over any partition of a result
+/// vector is byte-identical to aggregate() of the whole vector (the
+/// distributed campaign's determinism guarantee; locked by the
+/// associativity/identity unit test).  Derived views (fleet
+/// percentiles, min/max) are recomputed from the merged exact
+/// distributions, never averaged.
+Aggregate merge(const Aggregate& a, const Aggregate& b);
+
+/// Reads a "liplib.campaign.aggregate/2" document (as produced by
+/// to_json) back into an Aggregate.  Lossless for every to_json-visible
+/// field: to_json(aggregate_from_json(to_json(a))) is byte-identical to
+/// to_json(a), which is what lets partial-aggregate JSON files merge
+/// into the same bytes a single-process run would have written.
+/// Fields to_json does not export (per-failure blame rows, throughput
+/// flags) are not reconstructed; they are already folded into the
+/// fleet distributions.  Throws ApiError on malformed documents.
+Aggregate aggregate_from_json(const Json& doc);
 
 /// JSON document of an aggregate (schema in docs/campaign.md).  Contains
 /// only deterministic fields — no wall-clock times, no thread counts.

@@ -1,0 +1,140 @@
+// liplib/dist/coordinator.hpp
+//
+// The straggler-aware coordinator of a distributed campaign.
+//
+// A Coordinator binds a loopback TCP socket and speaks "liplib.dist/1"
+// — liplib.rpc/1 framing (4-byte big-endian length + JSON payload,
+// serve/protocol.hpp) with its own message vocabulary:
+//
+//   {"rpc":"liplib.dist/1","msg":"lease"}
+//       -> {"msg":"lease","manifest":{...liplib.shard/1...}}
+//        | {"msg":"wait","retry_ms":N}     every shard leased, none expired
+//        | {"msg":"done"}                  every shard merged
+//   {"rpc":"liplib.dist/1","msg":"result","partial":{...}}
+//       -> {"msg":"ack","accepted":true|false}
+//   {"rpc":"liplib.dist/1","msg":"status"}
+//       -> the liplib.dist.status/1 counter document
+//
+// Scheduling is pull-based: workers ask for leases, the coordinator
+// hands out pending shards with a deadline.  A shard whose lease
+// expires (worker died, or is just slow) goes back in the pool on the
+// next lease request — re-dispatch is lazy, no timer thread.  Results
+// dedup by shard index, first complete wins: the duplicate from a
+// straggler that finished after its re-dispatched twin is acknowledged
+// (accepted:false) and dropped, which is safe precisely because both
+// copies are byte-identical (the determinism argument in docs/dist.md).
+// Partial aggregates are folded with campaign::merge in shard order at
+// wait(), so the final aggregate is byte-identical to a single-process
+// run of the whole campaign.
+//
+// Connections are served one at a time on the accept thread — a
+// coordinator round-trip is a few small frames between loopback peers,
+// and serializing them keeps every state transition trivially ordered.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "liplib/campaign/jobs.hpp"
+#include "liplib/campaign/report.hpp"
+#include "liplib/dist/shard.hpp"
+#include "liplib/support/json.hpp"
+
+namespace liplib::dist {
+
+/// Protocol identifier of coordinator/worker messages.
+inline constexpr const char* kDistRpcSchema = "liplib.dist/1";
+
+/// Coordinator configuration.
+struct CoordinatorOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read back with port()).
+  std::uint16_t port = 0;
+  /// The campaign to distribute (netlist-free named family).
+  campaign::NamedCampaignSpec spec;
+  std::uint64_t base_seed = 1;
+  std::uint64_t cycle_budget = 1u << 18;
+  /// Shards the campaign is split into (>= 1).
+  std::size_t shards = 4;
+  /// Lease deadline: a shard not submitted within this window is
+  /// eligible for re-dispatch to the next asking worker.
+  std::uint64_t lease_ms = 30000;
+  /// Retry interval suggested to workers when nothing is leasable.
+  std::uint64_t wait_ms = 100;
+};
+
+/// Scheduling counters (the `status` answer; never part of the
+/// deterministic aggregate).
+struct CoordinatorStats {
+  std::uint64_t leases_issued = 0;  ///< lease responses carrying a shard
+  std::uint64_t redispatches = 0;   ///< leases re-issued after expiry
+  std::uint64_t duplicates = 0;     ///< results dropped, first-complete-wins
+  std::uint64_t bytes_merged = 0;   ///< partial JSON bytes accepted
+  std::size_t shards_total = 0;
+  std::size_t shards_done = 0;
+};
+
+/// The coordinator daemon.  start() binds and serves; wait() blocks
+/// until every shard's partial has arrived and returns the merged
+/// aggregate.  The listening socket stays open until destruction so
+/// late workers still hear "done" instead of a connection error.
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opts);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds 127.0.0.1:<port> and starts the accept loop.  Throws
+  /// ApiError when the port cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until all shards are merged; returns the campaign's full
+  /// aggregate (byte-identical to a single-process run).
+  campaign::Aggregate wait();
+
+  CoordinatorStats stats() const;
+
+  /// The "liplib.dist.status/1" counter document.
+  Json status_json() const;
+
+ private:
+  enum class ShardState { kPending, kLeased, kDone };
+  struct Slot {
+    ShardState state = ShardState::kPending;
+    /// steady_clock deadline of the current lease, in ms since an
+    /// arbitrary epoch (only compared against now_ms()).
+    std::uint64_t deadline_ms = 0;
+    campaign::Aggregate aggregate;  ///< valid when kDone
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  std::string handle_message(const std::string& payload);
+  Json handle_lease();
+  Json handle_result(const Json& doc, std::size_t payload_bytes);
+  static std::uint64_t now_ms();
+
+  CoordinatorOptions opts_;
+  std::string campaign_spec_;   ///< named_campaign_to_string(opts_.spec)
+  std::size_t total_jobs_ = 0;  ///< job-vector length of the campaign
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<Slot> slots_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace liplib::dist

@@ -12,8 +12,8 @@
 // close.
 //
 // Requests: {"rpc": "liplib.rpc/1", "kind": <kind>, ...} with kinds
-// lint | screen | profile | campaign | prove | status | shutdown.
-// Responses
+// lint | screen | profile | campaign | prove | status | shutdown |
+// dist-status.  Responses
 // echo the request's optional "id" verbatim and carry either
 // "ok": true plus a "result" document or "ok": false plus "error".
 // The full field catalog lives in docs/serve.md.
@@ -63,6 +63,11 @@ enum class RequestKind : std::uint8_t {
   kProve,
   kStatus,
   kShutdown,
+  /// Relay of a distributed-campaign coordinator's status document
+  /// (liplib/dist): the daemon queries 127.0.0.1:<port> over
+  /// liplib.dist/1 and wraps the answer — fleet dashboards scrape one
+  /// endpoint for both the cache and the campaign in flight.
+  kDistStatus,
 };
 
 /// Stable wire name of a request kind ("lint", "screen", ...).
@@ -88,6 +93,8 @@ struct Request {
   std::string method = "auto";
   std::uint64_t depth = 0;   ///< prove: BMC depth bound; 0 = default
   bool worst_case = false;   ///< prove: start from worst-case occupancy
+  /// dist-status: loopback port of the dist coordinator to query.
+  std::uint64_t port = 0;
 };
 
 /// Validates a parsed request document: schema tag, known kind, known

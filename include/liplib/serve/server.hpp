@@ -82,7 +82,7 @@ struct ServeContext {
 
   std::mutex mu;  ///< guards the counters below
   metrics::Counter requests_total;
-  metrics::Counter requests_by_kind[7];  ///< indexed by RequestKind
+  metrics::Counter requests_by_kind[8];  ///< indexed by RequestKind
   metrics::Counter protocol_errors;      ///< malformed frames / requests
   metrics::Counter request_errors;       ///< well-formed requests that failed
   metrics::Counter deadlock_verdicts;    ///< watchdog-tripped answers

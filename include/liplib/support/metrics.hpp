@@ -146,6 +146,48 @@ class LogHistogram {
     return j;
   }
 
+  /// Reconstructs a histogram from its to_json() document.  Exact:
+  /// every merge-relevant field (bucket counts, count, total, min, max)
+  /// round-trips, so from_json(h.to_json()).to_json() is byte-identical
+  /// to h.to_json() — the property the distributed aggregate merge
+  /// relies on.  Throws ApiError on a malformed or mis-tagged document.
+  static LogHistogram from_json(const Json& j) {
+    const Json* schema = j.find("schema");
+    LIPLIB_EXPECT(schema && schema->is_string() &&
+                      schema->as_string() == "liplib.loghist/1",
+                  "loghist document missing schema liplib.loghist/1");
+    auto uint_of = [&j](const char* key) {
+      const Json* f = j.find(key);
+      LIPLIB_EXPECT(f && f->is_number(),
+                    std::string("loghist field '") + key +
+                        "' missing or non-numeric");
+      return f->as_uint();
+    };
+    LogHistogram h;
+    h.count_ = uint_of("count");
+    h.total_ = uint_of("total");
+    h.min_ = uint_of("min");
+    h.max_ = uint_of("max");
+    const Json* buckets = j.find("buckets");
+    LIPLIB_EXPECT(buckets && buckets->is_array(),
+                  "loghist document missing 'buckets'");
+    std::uint64_t sum = 0;
+    for (const Json& b : buckets->elements()) {
+      const Json* lo = b.find("lo");
+      const Json* n = b.find("n");
+      LIPLIB_EXPECT(lo && lo->is_number() && n && n->is_number(),
+                    "loghist bucket missing 'lo'/'n'");
+      const std::size_t idx = bucket_of(lo->as_uint());
+      LIPLIB_EXPECT(bucket_lo(idx) == lo->as_uint(),
+                    "loghist bucket 'lo' is not a bucket boundary");
+      h.buckets_[idx] += n->as_uint();
+      sum += n->as_uint();
+    }
+    LIPLIB_EXPECT(sum == h.count_,
+                  "loghist bucket counts do not sum to 'count'");
+    return h;
+  }
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;

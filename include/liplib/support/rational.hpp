@@ -47,6 +47,31 @@ class Rational {
     return std::to_string(num_) + "/" + std::to_string(den_);
   }
 
+  /// Parses the str() form back: "num" or "num/den" with an optional
+  /// leading '-'.  Throws ApiError on anything else (trailing garbage,
+  /// empty parts, zero denominator).  parse(x.str()) == x, which is what
+  /// lets exact throughputs round-trip through the JSON aggregates.
+  static Rational parse(const std::string& text) {
+    const auto slash = text.find('/');
+    const std::string num_part =
+        slash == std::string::npos ? text : text.substr(0, slash);
+    const std::string den_part =
+        slash == std::string::npos ? "1" : text.substr(slash + 1);
+    auto to_i64 = [&text](const std::string& part) {
+      LIPLIB_EXPECT(!part.empty(), "bad rational '" + text + "'");
+      std::size_t used = 0;
+      std::int64_t v = 0;
+      try {
+        v = std::stoll(part, &used);
+      } catch (const std::exception&) {
+        throw ApiError("bad rational '" + text + "'");
+      }
+      LIPLIB_EXPECT(used == part.size(), "bad rational '" + text + "'");
+      return v;
+    };
+    return Rational(to_i64(num_part), to_i64(den_part));
+  }
+
   friend Rational operator+(const Rational& a, const Rational& b) {
     return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
   }

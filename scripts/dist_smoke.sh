@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Smoke test for the distributed campaign stack, exercised end-to-end
+# through the shipped binary:
+#
+#   1. single-process golden: `lidtool campaign` of a 120-topology fuzz
+#      sweep, exported as canonical JSON;
+#   2. CLI shard path: the same sweep as four `--shard i/4 --out`
+#      exports reunited with `lidtool merge` — byte-identical to golden;
+#   3. coordinator path: `lidtool dist coordinate` with 4 shards, one
+#      worker killed mid-flight while holding a lease (the
+#      --die-after-lease crash hook) plus two honest workers — the
+#      coordinator must re-dispatch the orphaned shard and the merged
+#      aggregate must again be byte-identical to golden.
+#
+# Usage: scripts/dist_smoke.sh [path/to/lidtool]
+# (default: build/examples/lidtool relative to the repo root)
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+lidtool="${1:-$repo_root/build/examples/lidtool}"
+
+if [ ! -x "$lidtool" ]; then
+  echo "dist_smoke: lidtool not found at $lidtool" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+coord_pid=""
+cleanup() {
+  if [ -n "$coord_pid" ] && kill -0 "$coord_pid" 2>/dev/null; then
+    kill "$coord_pid" 2>/dev/null
+    wait "$coord_pid" 2>/dev/null
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "dist_smoke: FAIL: $*" >&2
+  echo "--- coordinator log ---" >&2
+  cat "$work/coord.log" >&2 || true
+  exit 1
+}
+
+jobs=120
+seed=7
+budget=262144
+
+# ---- 1. the single-process golden ---------------------------------------
+
+"$lidtool" campaign fuzz "$jobs" --seed "$seed" --budget "$budget" \
+  --threads 2 --json "$work/golden.json" > /dev/null \
+  || fail "single-process campaign did not exit 0 (all live expected)"
+[ -s "$work/golden.json" ] || fail "golden.json was not written"
+echo "dist_smoke: golden aggregate: $(wc -c < "$work/golden.json") bytes"
+
+# ---- 2. CLI shards + merge ----------------------------------------------
+
+for i in 0 1 2 3; do
+  "$lidtool" campaign fuzz "$jobs" --seed "$seed" --budget "$budget" \
+    --threads 2 --shard "$i/4" --out "$work/part$i.json" > /dev/null \
+    || fail "shard $i/4 export failed"
+done
+"$lidtool" merge "$work"/part0.json "$work"/part1.json "$work"/part2.json \
+  "$work"/part3.json --json "$work/merged_cli.json" > /dev/null \
+  || fail "lidtool merge of the four shards failed"
+cmp -s "$work/golden.json" "$work/merged_cli.json" \
+  || fail "merged CLI shards differ from the single-process golden"
+echo "dist_smoke: 4 CLI shards merged byte-identical to golden"
+
+# ---- 3. coordinator + workers, one killed mid-flight --------------------
+
+"$lidtool" dist coordinate fuzz "$jobs" --seed "$seed" --budget "$budget" \
+  --shards 4 --lease-ms 800 --json "$work/dist.json" \
+  > "$work/coord.log" 2>&1 &
+coord_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$work/coord.log" | head -n1)"
+  [ -n "$port" ] && break
+  kill -0 "$coord_pid" 2>/dev/null || fail "coordinator exited before binding"
+  sleep 0.1
+done
+[ -n "$port" ] && [ "$port" != "0" ] || fail "could not learn the bound port"
+echo "dist_smoke: coordinator up on port $port (pid $coord_pid)"
+
+# The casualty: takes one shard lease and dies holding it.  Its shard
+# can only complete through a re-dispatch after the lease expires.
+"$lidtool" dist work --port "$port" --threads 1 --die-after-lease 1 \
+  > "$work/dead_worker.log" 2>&1 \
+  || fail "the doomed worker errored instead of dying cleanly"
+grep -q "0 partial(s) submitted" "$work/dead_worker.log" \
+  || fail "the doomed worker submitted work before dying"
+
+# Two honest workers finish the campaign, including the orphaned shard.
+"$lidtool" dist work --port "$port" --threads 2 > "$work/worker1.log" 2>&1 &
+w1=$!
+"$lidtool" dist work --port "$port" --threads 2 > "$work/worker2.log" 2>&1 &
+w2=$!
+
+wait "$coord_pid"
+coord_rc=$?
+coord_pid=""
+wait "$w1" || fail "worker 1 failed"
+wait "$w2" || fail "worker 2 failed"
+[ "$coord_rc" -eq 0 ] || fail "coordinator exited $coord_rc, want 0 (all live)"
+
+grep -q "4/4 shards" "$work/coord.log" \
+  || fail "coordinator did not report 4/4 shards done"
+redispatches="$(sed -n 's/.* \([0-9][0-9]*\) re-dispatch(es).*/\1/p' \
+                  "$work/coord.log" | head -n1)"
+[ -n "$redispatches" ] && [ "$redispatches" -ge 1 ] \
+  || fail "coordinator reports no re-dispatch despite the killed worker"
+echo "dist_smoke: campaign survived the killed worker ($redispatches re-dispatch(es))"
+
+cmp -s "$work/golden.json" "$work/dist.json" \
+  || fail "coordinator-merged aggregate differs from the single-process golden"
+echo "dist_smoke: coordinator aggregate byte-identical to golden"
+
+echo "dist_smoke: PASS ($(grep 'campaign done:' "$work/coord.log"))"

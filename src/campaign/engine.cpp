@@ -23,6 +23,18 @@ const char* outcome_name(Outcome o) {
   return "unknown";
 }
 
+bool parse_outcome(const std::string& name, Outcome* out) {
+  for (Outcome o : {Outcome::kLive, Outcome::kDeadlock, Outcome::kStarvation,
+                    Outcome::kBudgetExhausted, Outcome::kMismatch,
+                    Outcome::kError}) {
+    if (name == outcome_name(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint64_t job_seed(std::uint64_t base_seed, std::uint64_t index) {
   // SplitMix64 over the combined value: adjacent indices yield
   // well-separated streams, and the combination is platform-independent.
@@ -126,10 +138,12 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
              : static_cast<unsigned>(
                    std::min<std::size_t>(opts_.threads, n));
 
-  auto context_for = [this](std::size_t index) {
+  auto context_for = [this](std::size_t slot) {
     JobContext ctx;
-    ctx.index = index;
-    ctx.seed = job_seed(opts_.base_seed, index);
+    // Identity is global: a shard running slice [lo, hi) with
+    // index_base = lo derives the same per-job seeds as the full run.
+    ctx.index = opts_.index_base + slot;
+    ctx.seed = job_seed(opts_.base_seed, ctx.index);
     ctx.cycle_budget = opts_.cycle_budget;
     ctx.base_seed = opts_.base_seed;
     return ctx;

@@ -771,4 +771,28 @@ std::vector<Job> make_t1_fuzz_campaign() {
   return jobs;
 }
 
+std::vector<Job> make_named_campaign(const NamedCampaignSpec& spec) {
+  std::vector<Job> jobs;
+  if (spec.mode == "fuzz") {
+    jobs.reserve(spec.jobs);
+    for (std::size_t i = 0; i < spec.jobs; ++i) {
+      FuzzSpec fuzz;
+      fuzz.shape = spec.shape;
+      fuzz.policy = spec.policy;
+      fuzz.engine = spec.engine;
+      fuzz.size = 4;
+      jobs.push_back(make_fuzz_job("fuzz/" + std::to_string(i), fuzz));
+    }
+  } else if (spec.mode == "lint") {
+    jobs = make_lint_crosscheck_campaign(spec.jobs);
+  } else if (spec.mode == "prove") {
+    jobs = make_prove_crosscheck_campaign(spec.jobs);
+  } else if (spec.mode == "probe") {
+    jobs = make_probe_campaign(spec.jobs);
+  } else {
+    throw ApiError("unknown campaign mode '" + spec.mode + "'");
+  }
+  return jobs;
+}
+
 }  // namespace liplib::campaign

@@ -1,6 +1,7 @@
 #include "liplib/campaign/report.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <sstream>
 
@@ -64,59 +65,250 @@ Rational multiset_percentile(
   return sorted.back().first;
 }
 
-FleetMetrics fold_fleet(const std::vector<JobResult>& results,
-                        const Aggregate& agg) {
-  FleetMetrics fleet;
-  std::map<std::string, std::uint64_t> blame;
+/// An aggregate with the schema-stable outcome histogram shape and
+/// nothing counted yet — the identity element of merge().
+Aggregate empty_aggregate() {
+  Aggregate agg;
+  for (Outcome o : kAllOutcomes) agg.outcomes.emplace_back(o, 0);
+  return agg;
+}
+
+/// Recomputes every derived view (the fleet throughput-percentile
+/// ladder, blame ordering) from the exact distributions.  Pure in the
+/// exact state, so recomputing after a merge yields the same bytes a
+/// direct single-pass aggregation would.
+void refresh_derived(Aggregate& agg) {
+  agg.fleet.throughput_percentiles.clear();
   std::size_t tp_total = 0;
   for (const auto& [value, count] : agg.throughputs) {
     (void)value;
     tp_total += count;
   }
-  for (const auto& r : results) {
-    fleet.cycles.record(r.cycles);
-    if (r.has_throughput) {
-      fleet.transient.record(r.transient);
-      fleet.period.record(r.period);
-    }
-    for (const auto& [culprit, cycles] : r.blame) blame[culprit] += cycles;
-  }
   if (tp_total > 0) {
     for (int pct : kPercentiles) {
-      fleet.throughput_percentiles.emplace_back(
+      agg.fleet.throughput_percentiles.emplace_back(
           "p" + std::to_string(pct),
           multiset_percentile(agg.throughputs, tp_total, pct));
     }
   }
-  fleet.blame_by_culprit.assign(blame.begin(), blame.end());
-  std::stable_sort(fleet.blame_by_culprit.begin(),
-                   fleet.blame_by_culprit.end(),
+  std::stable_sort(agg.fleet.blame_by_culprit.begin(),
+                   agg.fleet.blame_by_culprit.end(),
                    [](const auto& a, const auto& b) {
                      if (a.second != b.second) return a.second > b.second;
                      return a.first < b.first;
                    });
-  return fleet;
+}
+
+/// Single-pass aggregation of a contiguous result block — the only
+/// place a JobResult is folded; everything coarser goes through
+/// merge().  Derived views are left for the caller to refresh.
+Aggregate aggregate_block(const std::vector<JobResult>& results,
+                          std::size_t lo, std::size_t hi) {
+  Aggregate agg = empty_aggregate();
+  agg.total = hi - lo;
+  // std::map over exact Rationals: deterministic ascending order.
+  std::map<Rational, std::size_t> tp;
+  std::map<std::string, std::uint64_t> blame;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& r = results[i];
+    agg.total_cycles += r.cycles;
+    ++agg.outcomes[static_cast<std::size_t>(r.outcome)].second;
+    if (r.has_throughput) {
+      ++tp[r.throughput];
+      agg.fleet.transient.record(r.transient);
+      agg.fleet.period.record(r.period);
+    }
+    agg.fleet.cycles.record(r.cycles);
+    for (const auto& [culprit, cycles] : r.blame) blame[culprit] += cycles;
+    if (r.outcome != Outcome::kLive) agg.failures.push_back(r);
+  }
+  agg.throughputs.assign(tp.begin(), tp.end());
+  agg.fleet.blame_by_culprit.assign(blame.begin(), blame.end());
+  return agg;
+}
+
+/// In-place merge of the exact distributions (derived views are NOT
+/// refreshed — callers do that once at the end so a left fold over many
+/// blocks stays linear).
+void merge_into(Aggregate& into, const Aggregate& from) {
+  into.total += from.total;
+  into.total_cycles += from.total_cycles;
+
+  // Outcome histogram: tolerate a default-constructed identity (empty
+  // outcomes vector) on either side.
+  std::vector<std::pair<Outcome, std::size_t>> outcomes;
+  outcomes.reserve(std::size(kAllOutcomes));
+  for (Outcome o : kAllOutcomes) {
+    std::size_t n = 0;
+    for (const auto& [oo, c] : into.outcomes) {
+      if (oo == o) n += c;
+    }
+    for (const auto& [oo, c] : from.outcomes) {
+      if (oo == o) n += c;
+    }
+    outcomes.emplace_back(o, n);
+  }
+  into.outcomes = std::move(outcomes);
+
+  // Exact throughput multiset: two sorted runs, equal values summed.
+  std::vector<std::pair<Rational, std::size_t>> tp;
+  tp.reserve(into.throughputs.size() + from.throughputs.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.throughputs.size() || j < from.throughputs.size()) {
+    if (j >= from.throughputs.size() ||
+        (i < into.throughputs.size() &&
+         into.throughputs[i].first < from.throughputs[j].first)) {
+      tp.push_back(into.throughputs[i++]);
+    } else if (i >= into.throughputs.size() ||
+               from.throughputs[j].first < into.throughputs[i].first) {
+      tp.push_back(from.throughputs[j++]);
+    } else {
+      tp.emplace_back(into.throughputs[i].first,
+                      into.throughputs[i].second + from.throughputs[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  into.throughputs = std::move(tp);
+
+  // Failure records: both sides are index-sorted; keep the union so.
+  const auto mid = static_cast<std::ptrdiff_t>(into.failures.size());
+  into.failures.insert(into.failures.end(), from.failures.begin(),
+                       from.failures.end());
+  std::inplace_merge(into.failures.begin(), into.failures.begin() + mid,
+                     into.failures.end(),
+                     [](const JobResult& a, const JobResult& b) {
+                       return a.index < b.index;
+                     });
+
+  into.fleet.transient.merge(from.fleet.transient);
+  into.fleet.period.merge(from.fleet.period);
+  into.fleet.cycles.merge(from.fleet.cycles);
+  std::map<std::string, std::uint64_t> blame;
+  for (const auto& [culprit, cycles] : into.fleet.blame_by_culprit) {
+    blame[culprit] += cycles;
+  }
+  for (const auto& [culprit, cycles] : from.fleet.blame_by_culprit) {
+    blame[culprit] += cycles;
+  }
+  into.fleet.blame_by_culprit.assign(blame.begin(), blame.end());
 }
 
 }  // namespace
 
+Aggregate merge(const Aggregate& a, const Aggregate& b) {
+  Aggregate m = a;
+  merge_into(m, b);
+  refresh_derived(m);
+  return m;
+}
+
 Aggregate aggregate(const std::vector<JobResult>& results) {
-  Aggregate agg;
-  agg.total = results.size();
-  std::map<Outcome, std::size_t> hist;
-  // std::map over exact Rationals: deterministic ascending order.
-  std::map<Rational, std::size_t> tp;
-  for (const auto& r : results) {
-    agg.total_cycles += r.cycles;
-    ++hist[r.outcome];
-    if (r.has_throughput) ++tp[r.throughput];
-    if (r.outcome != Outcome::kLive) agg.failures.push_back(r);
+  // The same merge() fold the distributed layer runs over shard
+  // partials, here over fixed blocks of the local result vector —
+  // associativity makes the block size (and the shard split) invisible
+  // in the output bytes.
+  constexpr std::size_t kBlock = 4096;
+  Aggregate agg = empty_aggregate();
+  for (std::size_t lo = 0; lo < results.size(); lo += kBlock) {
+    merge_into(agg,
+               aggregate_block(results, lo,
+                               std::min(results.size(), lo + kBlock)));
   }
-  for (Outcome o : kAllOutcomes) {
-    agg.outcomes.emplace_back(o, hist.count(o) ? hist[o] : 0);
+  refresh_derived(agg);
+  return agg;
+}
+
+Aggregate aggregate_from_json(const Json& doc) {
+  LIPLIB_EXPECT(doc.is_object(), "aggregate document must be a JSON object");
+  const Json* schema = doc.find("schema");
+  LIPLIB_EXPECT(schema && schema->is_string() &&
+                    schema->as_string() == "liplib.campaign.aggregate/2",
+                "aggregate document missing schema "
+                "liplib.campaign.aggregate/2");
+  auto uint_of = [](const Json& j, const char* key) {
+    const Json* f = j.find(key);
+    LIPLIB_EXPECT(f && f->is_number(),
+                  std::string("aggregate field '") + key +
+                      "' missing or non-numeric");
+    return f->as_uint();
+  };
+  auto string_of = [](const Json& j, const char* key) -> const std::string& {
+    const Json* f = j.find(key);
+    LIPLIB_EXPECT(f && f->is_string(),
+                  std::string("aggregate field '") + key +
+                      "' missing or non-string");
+    return f->as_string();
+  };
+
+  Aggregate agg = empty_aggregate();
+  agg.total = uint_of(doc, "total_jobs");
+  agg.total_cycles = uint_of(doc, "total_cycles");
+
+  const Json* outcomes = doc.find("outcomes");
+  LIPLIB_EXPECT(outcomes && outcomes->is_object(),
+                "aggregate document missing 'outcomes'");
+  for (const auto& [name, count] : outcomes->members()) {
+    Outcome o;
+    LIPLIB_EXPECT(parse_outcome(name, &o),
+                  "unknown outcome '" + name + "' in aggregate document");
+    LIPLIB_EXPECT(count.is_number(), "outcome count must be a number");
+    agg.outcomes[static_cast<std::size_t>(o)].second = count.as_uint();
   }
-  agg.throughputs.assign(tp.begin(), tp.end());
-  agg.fleet = fold_fleet(results, agg);
+
+  const Json* tp = doc.find("throughput_histogram");
+  LIPLIB_EXPECT(tp && tp->is_array(),
+                "aggregate document missing 'throughput_histogram'");
+  for (const Json& row : tp->elements()) {
+    agg.throughputs.emplace_back(Rational::parse(string_of(row, "throughput")),
+                                 uint_of(row, "jobs"));
+  }
+  LIPLIB_EXPECT(std::is_sorted(agg.throughputs.begin(), agg.throughputs.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.first < b.first;
+                               }),
+                "aggregate throughput histogram is not sorted");
+
+  const Json* fleet = doc.find("fleet");
+  LIPLIB_EXPECT(fleet && fleet->is_object(),
+                "aggregate document missing 'fleet'");
+  auto hist_of = [&fleet](const char* key) {
+    const Json* f = fleet->find(key);
+    LIPLIB_EXPECT(f, std::string("aggregate fleet missing '") + key + "'");
+    return metrics::LogHistogram::from_json(*f);
+  };
+  agg.fleet.transient = hist_of("transient");
+  agg.fleet.period = hist_of("period");
+  agg.fleet.cycles = hist_of("cycles");
+  const Json* blame = fleet->find("blame_by_culprit");
+  LIPLIB_EXPECT(blame && blame->is_array(),
+                "aggregate fleet missing 'blame_by_culprit'");
+  for (const Json& row : blame->elements()) {
+    agg.fleet.blame_by_culprit.emplace_back(string_of(row, "culprit"),
+                                            uint_of(row, "cycles"));
+  }
+
+  const Json* failures = doc.find("failures");
+  LIPLIB_EXPECT(failures && failures->is_array(),
+                "aggregate document missing 'failures'");
+  for (const Json& row : failures->elements()) {
+    JobResult r;
+    r.index = uint_of(row, "index");
+    r.name = string_of(row, "name");
+    r.seed = uint_of(row, "seed");
+    LIPLIB_EXPECT(parse_outcome(string_of(row, "outcome"), &r.outcome),
+                  "unknown failure outcome in aggregate document");
+    r.cycles = uint_of(row, "cycles");
+    r.detail = string_of(row, "detail");
+    agg.failures.push_back(std::move(r));
+  }
+  LIPLIB_EXPECT(std::is_sorted(agg.failures.begin(), agg.failures.end(),
+                               [](const JobResult& a, const JobResult& b) {
+                                 return a.index < b.index;
+                               }),
+                "aggregate failures are not in job-index order");
+
+  refresh_derived(agg);
   return agg;
 }
 

@@ -1,0 +1,252 @@
+#include "liplib/dist/coordinator.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "liplib/serve/cache.hpp"
+#include "liplib/serve/protocol.hpp"
+#include "liplib/support/check.hpp"
+
+namespace liplib::dist {
+
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
+  LIPLIB_EXPECT(opts_.shards >= 1, "coordinator needs at least one shard");
+  campaign_spec_ = named_campaign_to_string(opts_.spec);
+  // The job vector is built once just to learn the campaign's length
+  // (mix-style batching could make it differ from spec.jobs); workers
+  // rebuild their slices from the spec string.
+  total_jobs_ = campaign::make_named_campaign(opts_.spec).size();
+  slots_.resize(opts_.shards);
+  stats_.shards_total = opts_.shards;
+}
+
+Coordinator::~Coordinator() {
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // wakes a blocked accept()
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::uint64_t Coordinator::now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Coordinator::start() {
+  LIPLIB_EXPECT(listen_fd_ < 0, "Coordinator::start called twice");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ApiError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only, like the serve daemon: the coordinator trusts its
+  // workers; remote fleets front it with their own transport.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ApiError("cannot bind 127.0.0.1:" + std::to_string(opts_.port) +
+                   ": " + std::strerror(err));
+  }
+  if (::listen(fd, 128) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ApiError(std::string("listen failed: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Coordinator::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (destructor) or fatal error
+    }
+    serve_connection(fd);
+  }
+}
+
+void Coordinator::serve_connection(int fd) {
+  try {
+    std::string payload;
+    while (serve::read_frame(fd, payload)) {
+      serve::write_frame(fd, handle_message(payload));
+    }
+  } catch (const std::exception&) {
+    // Framing violation or peer death mid-frame: drop the connection;
+    // any lease the peer held simply expires.
+  }
+  ::close(fd);
+}
+
+std::string Coordinator::handle_message(const std::string& payload) {
+  Json id;
+  try {
+    const Json doc = Json::parse(payload);
+    LIPLIB_EXPECT(doc.is_object(), "message must be a JSON object");
+    const Json* rpc = doc.find("rpc");
+    LIPLIB_EXPECT(rpc && rpc->is_string() &&
+                      rpc->as_string() == kDistRpcSchema,
+                  std::string("expected rpc \"") + kDistRpcSchema + "\"");
+    const Json* msg = doc.find("msg");
+    LIPLIB_EXPECT(msg && msg->is_string(), "missing 'msg'");
+    const std::string& kind = msg->as_string();
+    if (kind == "lease") return handle_lease().dump();
+    if (kind == "result") {
+      return handle_result(doc, payload.size()).dump();
+    }
+    if (kind == "status") return status_json().dump();
+    throw ApiError("unknown dist message '" + kind + "'");
+  } catch (const std::exception& e) {
+    return Json::object()
+        .set("rpc", kDistRpcSchema)
+        .set("msg", "error")
+        .set("error", std::string(e.what()))
+        .dump();
+  }
+}
+
+Json Coordinator::handle_lease() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t now = now_ms();
+  // First pending shard, else the longest-expired lease (the straggler
+  // re-dispatch path); lowest index wins ties so scheduling is stable.
+  std::size_t pick = slots_.size();
+  bool redispatch = false;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state == ShardState::kPending) {
+      pick = i;
+      redispatch = false;
+      break;
+    }
+    if (slots_[i].state == ShardState::kLeased &&
+        slots_[i].deadline_ms <= now &&
+        (pick == slots_.size() ||
+         slots_[i].deadline_ms < slots_[pick].deadline_ms)) {
+      pick = i;
+      redispatch = true;
+    }
+  }
+  if (pick == slots_.size()) {
+    if (stats_.shards_done == slots_.size()) {
+      return Json::object().set("rpc", kDistRpcSchema).set("msg", "done");
+    }
+    return Json::object()
+        .set("rpc", kDistRpcSchema)
+        .set("msg", "wait")
+        .set("retry_ms", opts_.wait_ms);
+  }
+  slots_[pick].state = ShardState::kLeased;
+  slots_[pick].deadline_ms = now + opts_.lease_ms;
+  stats_.leases_issued++;
+  if (redispatch) stats_.redispatches++;
+  const ShardManifest m = make_manifest(
+      campaign_spec_, total_jobs_, opts_.base_seed, opts_.cycle_budget,
+      xir::engine_mode_name(opts_.spec.engine),
+      shard_range(total_jobs_, pick, slots_.size()));
+  return Json::object()
+      .set("rpc", kDistRpcSchema)
+      .set("msg", "lease")
+      .set("manifest", manifest_to_json(m));
+}
+
+Json Coordinator::handle_result(const Json& doc, std::size_t payload_bytes) {
+  const Json* partial = doc.find("partial");
+  LIPLIB_EXPECT(partial, "result message: missing 'partial'");
+  Partial p = partial_from_json(*partial);
+  LIPLIB_EXPECT(p.manifest.campaign_hash == serve::fnv1a64(campaign_spec_) &&
+                    p.manifest.campaign == campaign_spec_ &&
+                    p.manifest.total_jobs == total_jobs_ &&
+                    p.manifest.base_seed == opts_.base_seed &&
+                    p.manifest.cycle_budget == opts_.cycle_budget,
+                "result message: partial belongs to a different campaign");
+  LIPLIB_EXPECT(p.manifest.shard.count == slots_.size() &&
+                    p.manifest.shard.index < slots_.size(),
+                "result message: shard index outside this plan");
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[p.manifest.shard.index];
+    if (slot.state != ShardState::kDone) {
+      // First complete wins; a later duplicate (the straggler whose
+      // lease was re-dispatched) is byte-identical anyway and dropped.
+      slot.state = ShardState::kDone;
+      slot.aggregate = std::move(p.aggregate);
+      stats_.shards_done++;
+      stats_.bytes_merged += payload_bytes;
+      accepted = true;
+      if (stats_.shards_done == slots_.size()) done_cv_.notify_all();
+    } else {
+      stats_.duplicates++;
+    }
+  }
+  return Json::object()
+      .set("rpc", kDistRpcSchema)
+      .set("msg", "ack")
+      .set("accepted", accepted);
+}
+
+campaign::Aggregate Coordinator::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return stats_.shards_done == slots_.size(); });
+  // Fold in shard order — the same left fold aggregate() runs over its
+  // blocks, so the result is byte-identical to the unsharded run.
+  campaign::Aggregate merged;
+  for (const Slot& slot : slots_) {
+    merged = campaign::merge(merged, slot.aggregate);
+  }
+  return merged;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Json Coordinator::status_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t pending = 0, leased = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == ShardState::kPending) pending++;
+    if (s.state == ShardState::kLeased) leased++;
+  }
+  return Json::object()
+      .set("schema", "liplib.dist.status/1")
+      .set("campaign", campaign_spec_)
+      .set("campaign_hash", serve::fnv1a64(campaign_spec_))
+      .set("total_jobs", static_cast<std::uint64_t>(total_jobs_))
+      .set("shards",
+           Json::object()
+               .set("total", static_cast<std::uint64_t>(slots_.size()))
+               .set("pending", static_cast<std::uint64_t>(pending))
+               .set("leased", static_cast<std::uint64_t>(leased))
+               .set("done",
+                    static_cast<std::uint64_t>(stats_.shards_done)))
+      .set("leases_issued", stats_.leases_issued)
+      .set("redispatches", stats_.redispatches)
+      .set("duplicates", stats_.duplicates)
+      .set("bytes_merged", stats_.bytes_merged);
+}
+
+}  // namespace liplib::dist

@@ -1,0 +1,151 @@
+#include "liplib/dist/worker.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "liplib/campaign/campaign.hpp"
+#include "liplib/campaign/jobs.hpp"
+#include "liplib/campaign/report.hpp"
+#include "liplib/dist/coordinator.hpp"
+#include "liplib/dist/shard.hpp"
+#include "liplib/serve/protocol.hpp"
+#include "liplib/support/check.hpp"
+
+namespace liplib::dist {
+
+namespace {
+
+/// One request/response round trip on a fresh connection.  Returns
+/// false when the coordinator is unreachable or hung up (the normal end
+/// of a campaign once the coordinator exited); throws ApiError only on
+/// a protocol violation from a live coordinator.
+bool round_trip(std::uint16_t port, const Json& request, Json* response) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ApiError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  try {
+    serve::write_frame(fd, request.dump());
+    std::string payload;
+    if (!serve::read_frame(fd, payload)) {
+      ::close(fd);
+      return false;  // hung up without answering: coordinator dying
+    }
+    *response = Json::parse(payload);
+  } catch (...) {
+    // Send/recv failure mid-frame: treat like an unreachable
+    // coordinator rather than a protocol violation.
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  const Json* msg = response->find("msg");
+  LIPLIB_EXPECT(response->is_object() && msg && msg->is_string(),
+                "coordinator sent a malformed dist message");
+  if (msg->as_string() == "error") {
+    const Json* err = response->find("error");
+    throw ApiError("coordinator rejected the request: " +
+                   (err && err->is_string() ? err->as_string()
+                                            : std::string("unknown")));
+  }
+  return true;
+}
+
+/// Runs the leased slice and builds the partial document.
+Json compute_partial(const ShardManifest& m, unsigned threads) {
+  const campaign::NamedCampaignSpec spec =
+      named_campaign_from_string(m.campaign);
+  const auto jobs = campaign::make_named_campaign(spec);
+  LIPLIB_EXPECT(jobs.size() == m.total_jobs,
+                "lease manifest: campaign '" + m.campaign + "' builds " +
+                    std::to_string(jobs.size()) + " job(s), manifest says " +
+                    std::to_string(m.total_jobs));
+  const std::vector<campaign::Job> slice(
+      jobs.begin() + static_cast<std::ptrdiff_t>(m.shard.lo),
+      jobs.begin() + static_cast<std::ptrdiff_t>(m.shard.hi));
+  campaign::EngineOptions eopts;
+  eopts.threads = threads;
+  eopts.base_seed = m.base_seed;
+  eopts.cycle_budget = m.cycle_budget;
+  eopts.index_base = m.shard.lo;  // global identity: same seeds as unsharded
+  const auto results = campaign::Engine(eopts).run(slice);
+  return partial_to_json(m, campaign::aggregate(results));
+}
+
+}  // namespace
+
+WorkerStats run_worker(const WorkerOptions& opts) {
+  WorkerStats stats;
+  const Json lease_req = Json::object()
+                             .set("rpc", kDistRpcSchema)
+                             .set("msg", "lease");
+  for (;;) {
+    Json response;
+    if (!round_trip(opts.port, lease_req, &response)) {
+      // Coordinator gone.  After progress that is the normal end of a
+      // campaign (the coordinator exits once the last shard merges);
+      // before any lease it means the worker was pointed at nothing.
+      LIPLIB_EXPECT(stats.leases > 0,
+                    "cannot reach a coordinator on 127.0.0.1:" +
+                        std::to_string(opts.port));
+      stats.coordinator_gone = true;
+      return stats;
+    }
+    const std::string msg = response.find("msg")->as_string();
+    if (msg == "done") return stats;
+    if (msg == "wait") {
+      std::uint64_t retry = 100;
+      if (const Json* f = response.find("retry_ms")) {
+        if (f->is_number()) retry = f->as_uint();
+      }
+      retry = std::min(retry, opts.max_poll_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(retry));
+      continue;
+    }
+    LIPLIB_EXPECT(msg == "lease",
+                  "coordinator sent unexpected message '" + msg + "'");
+    const Json* mdoc = response.find("manifest");
+    LIPLIB_EXPECT(mdoc, "lease message: missing 'manifest'");
+    const ShardManifest manifest = manifest_from_json(*mdoc);
+    stats.leases++;
+    if (opts.die_after_lease && stats.leases >= opts.die_after_lease) {
+      // Simulated crash: walk away holding the lease.  The coordinator
+      // re-dispatches the shard once the lease deadline passes.
+      return stats;
+    }
+    const Json submit = Json::object()
+                            .set("rpc", kDistRpcSchema)
+                            .set("msg", "result")
+                            .set("partial",
+                                 compute_partial(manifest, opts.threads));
+    Json ack;
+    if (!round_trip(opts.port, submit, &ack)) {
+      stats.coordinator_gone = true;
+      return stats;
+    }
+    const Json* accepted = ack.find("accepted");
+    if (accepted && accepted->is_bool() && accepted->as_bool()) {
+      stats.submitted++;
+    } else {
+      stats.rejected++;
+    }
+  }
+}
+
+}  // namespace liplib::dist

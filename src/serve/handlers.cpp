@@ -4,6 +4,11 @@
 // byte-identity of cached vs fresh responses is a property of this file
 // alone.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -29,7 +34,7 @@ Json ServeContext::status_json() {
   std::lock_guard<std::mutex> lock(mu);
   Json requests = Json::object();
   requests.set("total", requests_total.value());
-  for (int k = 0; k < 7; ++k) {
+  for (int k = 0; k < 8; ++k) {
     requests.set(request_kind_name(static_cast<RequestKind>(k)),
                  requests_by_kind[k].value());
   }
@@ -292,26 +297,13 @@ Computed compute_prove(const ParsedDesign& d, const Request& req,
 // ---- campaign -----------------------------------------------------------
 
 Computed compute_campaign(const Request& req, const ServerOptions& opts) {
-  std::vector<campaign::Job> jobs;
-  if (req.mode == "fuzz") {
-    for (std::uint64_t i = 0; i < req.jobs; ++i) {
-      campaign::FuzzSpec spec;
-      spec.shape = campaign::FuzzSpec::Shape::kComposite;
-      spec.policy = policy_of(req);
-      spec.engine = engine_of(req);
-      spec.size = 4;
-      jobs.push_back(
-          campaign::make_fuzz_job("fuzz/" + std::to_string(i), spec));
-    }
-  } else if (req.mode == "lint") {
-    jobs = campaign::make_lint_crosscheck_campaign(
-        static_cast<std::size_t>(req.jobs));
-  } else if (req.mode == "prove") {
-    jobs = campaign::make_prove_crosscheck_campaign(
-        static_cast<std::size_t>(req.jobs));
-  } else {
-    jobs = campaign::make_probe_campaign(static_cast<std::size_t>(req.jobs));
-  }
+  campaign::NamedCampaignSpec spec;
+  spec.mode = req.mode;
+  spec.jobs = static_cast<std::size_t>(req.jobs);
+  spec.policy = policy_of(req);
+  spec.shape = campaign::FuzzSpec::Shape::kComposite;
+  spec.engine = engine_of(req);
+  const auto jobs = campaign::make_named_campaign(spec);
   campaign::EngineOptions eopts;
   eopts.threads = opts.threads;
   eopts.base_seed = req.seed;
@@ -330,6 +322,50 @@ Computed compute_campaign(const Request& req, const ServerOptions& opts) {
           .set("deadlocks", agg.count(campaign::Outcome::kDeadlock))
           .set("aggregate", campaign::to_json(agg));
   return {result.dump(), agg.count(campaign::Outcome::kDeadlock) > 0};
+}
+
+// ---- dist-status --------------------------------------------------------
+
+/// Relays a "liplib.dist/1" status query to the coordinator on
+/// 127.0.0.1:<port> and wraps the answer.  Live state, never cached —
+/// the whole point is watching shard progress move.  The framing is
+/// this daemon's own (the dist protocol reuses liplib.rpc/1 frames), so
+/// serve does not depend on the dist library.
+Computed compute_dist_status(const Request& req) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ApiError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(req.port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ApiError("no dist coordinator on 127.0.0.1:" +
+                   std::to_string(req.port) + ": " + std::strerror(err));
+  }
+  std::string payload;
+  try {
+    write_frame(fd, Json::object()
+                        .set("rpc", "liplib.dist/1")
+                        .set("msg", "status")
+                        .dump());
+    if (!read_frame(fd, payload)) {
+      throw ApiError("coordinator closed the connection without answering");
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  const Json status = Json::parse(payload);
+  Json result = Json::object()
+                    .set("schema", "liplib.serve.dist_status/1")
+                    .set("port", req.port)
+                    .set("coordinator", status);
+  return {result.dump(), false};
 }
 
 // ---- cache keys ---------------------------------------------------------
@@ -415,6 +451,12 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
       const std::string result = ctx.status_json().dump();
       finish(false, false);
       return success_envelope(req.id, req.kind, /*cached=*/false, result);
+    }
+    if (req.kind == RequestKind::kDistStatus) {
+      Computed relayed = compute_dist_status(req);
+      finish(false, false);
+      return success_envelope(req.id, req.kind, /*cached=*/false,
+                              relayed.result);
     }
     if (req.kind == RequestKind::kShutdown) {
       ctx.draining.store(true);

@@ -106,6 +106,7 @@ const char* request_kind_name(RequestKind k) {
     case RequestKind::kProve: return "prove";
     case RequestKind::kStatus: return "status";
     case RequestKind::kShutdown: return "shutdown";
+    case RequestKind::kDistStatus: return "dist-status";
   }
   return "unknown";
 }
@@ -153,6 +154,7 @@ Request parse_request(const Json& doc) {
   else if (kind == "prove") req.kind = RequestKind::kProve;
   else if (kind == "status") req.kind = RequestKind::kStatus;
   else if (kind == "shutdown") req.kind = RequestKind::kShutdown;
+  else if (kind == "dist-status") req.kind = RequestKind::kDistStatus;
   else throw ApiError("unknown request kind '" + kind + "'");
 
   req.policy = string_field(doc, "policy", "variant");
@@ -208,6 +210,13 @@ Request parse_request(const Json& doc) {
         throw ApiError("campaign 'jobs' must be in [1, 1000000]");
       }
       req.seed = uint_field(doc, "seed", 1);
+      break;
+    }
+    case RequestKind::kDistStatus: {
+      req.port = uint_field(doc, "port", 0);
+      if (req.port < 1 || req.port > 65535) {
+        throw ApiError("dist-status 'port' must be in [1, 65535]");
+      }
       break;
     }
     case RequestKind::kStatus:

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "liplib/graph/generators.hpp"
@@ -233,6 +234,55 @@ channel Q.0 -> P.0 : H
 
   std::remove(live.c_str());
   std::remove(latch.c_str());
+}
+
+/// Whole file as a string (empty when unreadable).
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---- lidtool campaign seed / shard CLI contract --------------------------
+//
+// `--seed` takes a decimal or 0x-prefixed hex u64; anything else —
+// trailing garbage, a bare prefix, a missing value — is a usage error
+// (exit 2), never a silently-truncated seed.  Shard exports and the
+// merge/dist subcommands share the same exit-code vocabulary.
+
+TEST(ApiEdges, LidtoolCampaignSeedAndShardContract) {
+  const std::string suffix = std::to_string(::getpid()) + ".json";
+  const std::string hex_out = testing::TempDir() + "hex." + suffix;
+  const std::string dec_out = testing::TempDir() + "dec." + suffix;
+
+  // Hex and decimal spellings of the same seed export identical partials.
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --seed 0x7 --out " + hex_out), 0);
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --seed 7 --out " + dec_out), 0);
+  const std::string hex_bytes = read_file(hex_out);
+  EXPECT_FALSE(hex_bytes.empty());
+  EXPECT_EQ(hex_bytes, read_file(dec_out));
+  // A single full-range shard merges back on its own.
+  EXPECT_EQ(run_lidtool("merge " + hex_out), 0);
+
+  // Seed rejections.
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --seed 7x"), 2);
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --seed 0x"), 2);
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --seed 0xzz"), 2);
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --seed"), 2);
+
+  // Shard rejections: --shard needs --out, tokens must be i/N with i < N.
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --shard 0/2"), 2);
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --shard 2/2 --out " + hex_out), 2);
+  EXPECT_EQ(run_lidtool("campaign fuzz 4 --shard nope --out " + hex_out), 2);
+
+  // merge / dist usage errors.
+  EXPECT_EQ(run_lidtool("merge"), 2);
+  EXPECT_EQ(run_lidtool("merge /nonexistent.partial.json"), 2);
+  EXPECT_EQ(run_lidtool("dist work"), 2);
+  EXPECT_EQ(run_lidtool("dist bogus"), 2);
+
+  std::remove(hex_out.c_str());
+  std::remove(dec_out.c_str());
 }
 
 #endif  // LIDTOOL_PATH

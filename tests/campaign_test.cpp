@@ -252,4 +252,77 @@ TEST(Campaign, T1FuzzCampaignHas750Jobs) {
   EXPECT_EQ(jobs.size(), 750u);
 }
 
+// The combining fold behind the distributed merge: merge() must be
+// associative with aggregate({}) as the identity, and any block
+// partition of a result vector must fold to the bytes aggregate()
+// itself produces — otherwise sharded campaigns could drift from the
+// single-process report.
+TEST(Campaign, MergeIsAssociativeWithEmptyIdentity) {
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.base_seed = 9;
+  opts.cycle_budget = 1u << 16;
+  const auto results = Engine(opts).run(mixed_batch());
+  const std::string golden = to_json(aggregate(results)).dump();
+
+  // Identity on both sides.
+  const Aggregate whole = aggregate(results);
+  const Aggregate empty = aggregate({});
+  EXPECT_EQ(empty.total, 0u);
+  EXPECT_EQ(to_json(merge(empty, whole)).dump(), golden);
+  EXPECT_EQ(to_json(merge(whole, empty)).dump(), golden);
+  EXPECT_EQ(to_json(merge(empty, empty)).dump(),
+            to_json(empty).dump());
+
+  // Every 3-way split, folded both ways.
+  for (std::size_t a = 0; a <= results.size(); ++a) {
+    for (std::size_t b = a; b <= results.size(); ++b) {
+      const Aggregate x = aggregate(
+          {results.begin(), results.begin() + static_cast<long>(a)});
+      const Aggregate y =
+          aggregate({results.begin() + static_cast<long>(a),
+                     results.begin() + static_cast<long>(b)});
+      const Aggregate z =
+          aggregate({results.begin() + static_cast<long>(b), results.end()});
+      EXPECT_EQ(to_json(merge(merge(x, y), z)).dump(), golden);
+      EXPECT_EQ(to_json(merge(x, merge(y, z))).dump(), golden);
+    }
+  }
+}
+
+TEST(Campaign, AggregateJsonRoundTripsLosslessly) {
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.base_seed = 5;
+  opts.cycle_budget = 64;  // tiny budget: force failures into the doc
+  const auto results = Engine(opts).run(mixed_batch());
+  const auto agg = aggregate(results);
+  EXPECT_FALSE(agg.failures.empty());
+  const std::string bytes = to_json(agg).dump(2);
+  const Aggregate back = aggregate_from_json(Json::parse(bytes));
+  EXPECT_EQ(to_json(back).dump(2), bytes);
+}
+
+TEST(Campaign, IndexBaseShiftsJobIdentity) {
+  const auto jobs = mixed_batch();
+  EngineOptions whole_opts;
+  whole_opts.threads = 2;
+  whole_opts.base_seed = 4242;
+  whole_opts.cycle_budget = 1u << 16;
+  const auto whole = Engine(whole_opts).run(jobs);
+
+  const std::size_t lo = 5, hi = 11;
+  EngineOptions slice_opts = whole_opts;
+  slice_opts.index_base = lo;
+  const std::vector<Job> slice(jobs.begin() + lo, jobs.begin() + hi);
+  const auto part = Engine(slice_opts).run(slice);
+  ASSERT_EQ(part.size(), hi - lo);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    EXPECT_EQ(part[i].index, lo + i);
+    EXPECT_EQ(part[i].seed, whole[lo + i].seed);
+    EXPECT_EQ(part[i].outcome, whole[lo + i].outcome);
+    EXPECT_EQ(part[i].cycles, whole[lo + i].cycles);
+  }
+}
+
 }  // namespace

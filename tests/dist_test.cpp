@@ -1,0 +1,386 @@
+// The distributed campaign contract (liplib/dist): the shard planner
+// tiles the job-index space, manifests reject tampering and foreign
+// shards, and the deterministic merge is byte-identical to the
+// single-process aggregate across the full shard-count × thread-count
+// × engine matrix.  The coordinator/worker transport is exercised over
+// real loopback sockets, including the straggler path: a worker that
+// takes a lease and dies must not lose the campaign — the shard is
+// re-dispatched and the merged report still matches the golden bytes.
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "liplib/campaign/campaign.hpp"
+#include "liplib/campaign/jobs.hpp"
+#include "liplib/campaign/report.hpp"
+#include "liplib/dist/coordinator.hpp"
+#include "liplib/dist/shard.hpp"
+#include "liplib/dist/worker.hpp"
+#include "liplib/serve/protocol.hpp"
+#include "liplib/serve/server.hpp"
+#include "liplib/support/check.hpp"
+#include "liplib/support/json.hpp"
+
+namespace {
+
+using namespace liplib;
+using dist::Partial;
+using dist::ShardManifest;
+
+campaign::NamedCampaignSpec fuzz_spec(std::size_t jobs,
+                                      xir::EngineMode engine) {
+  campaign::NamedCampaignSpec spec;
+  spec.mode = "fuzz";
+  spec.jobs = jobs;
+  spec.engine = engine;
+  return spec;
+}
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::uint64_t kBudget = 1u << 16;
+
+/// The golden document: the whole campaign in one process.
+std::string unsharded_bytes(const campaign::NamedCampaignSpec& spec,
+                            unsigned threads) {
+  const auto jobs = campaign::make_named_campaign(spec);
+  campaign::EngineOptions opts;
+  opts.threads = threads;
+  opts.base_seed = kSeed;
+  opts.cycle_budget = kBudget;
+  const auto results = campaign::Engine(opts).run(jobs);
+  return campaign::to_json(campaign::aggregate(results)).dump(2);
+}
+
+/// One shard's partial, exactly as `lidtool campaign --shard` builds it.
+Partial run_shard(const campaign::NamedCampaignSpec& spec, unsigned threads,
+                  std::size_t index, std::size_t count) {
+  const auto jobs = campaign::make_named_campaign(spec);
+  const auto range = dist::shard_range(jobs.size(), index, count);
+  const std::vector<campaign::Job> slice(
+      jobs.begin() + static_cast<std::ptrdiff_t>(range.lo),
+      jobs.begin() + static_cast<std::ptrdiff_t>(range.hi));
+  campaign::EngineOptions opts;
+  opts.threads = threads;
+  opts.base_seed = kSeed;
+  opts.cycle_budget = kBudget;
+  opts.index_base = range.lo;
+  const auto results = campaign::Engine(opts).run(slice);
+  Partial p;
+  p.manifest = dist::make_manifest(
+      dist::named_campaign_to_string(spec), jobs.size(), kSeed, kBudget,
+      xir::engine_mode_name(spec.engine), range);
+  p.aggregate = campaign::aggregate(results);
+  return p;
+}
+
+TEST(Dist, ShardPlannerTilesTheIndexSpace) {
+  for (std::size_t total : {0u, 1u, 7u, 300u}) {
+    for (std::size_t count : {1u, 2u, 3u, 8u}) {
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto r = dist::shard_range(total, i, count);
+        EXPECT_EQ(r.lo, next);
+        EXPECT_LE(r.hi - r.lo, total / count + 1);
+        next = r.hi;
+      }
+      EXPECT_EQ(next, total);
+    }
+  }
+  EXPECT_THROW(dist::shard_range(10, 0, 0), ApiError);
+  EXPECT_THROW(dist::shard_range(10, 4, 4), ApiError);
+}
+
+TEST(Dist, ShardTokenParsesAndRejects) {
+  EXPECT_EQ(dist::parse_shard_token("2/4"),
+            (std::pair<std::size_t, std::size_t>{2, 4}));
+  EXPECT_EQ(dist::parse_shard_token("0/1"),
+            (std::pair<std::size_t, std::size_t>{0, 1}));
+  for (const char* bad : {"", "3", "/4", "2/", "4/4", "5/4", "a/4", "2/4x",
+                          "2/0", "-1/4"}) {
+    EXPECT_THROW(dist::parse_shard_token(bad), ApiError) << bad;
+  }
+}
+
+TEST(Dist, NamedCampaignSpecStringRoundTrips) {
+  campaign::NamedCampaignSpec spec;
+  spec.mode = "fuzz";
+  spec.jobs = 123;
+  spec.policy = lip::StopPolicy::kCarloniStrict;
+  spec.shape = campaign::FuzzSpec::Shape::kReconvergent;
+  spec.engine = xir::EngineMode::kSliced;
+  const std::string text = dist::named_campaign_to_string(spec);
+  EXPECT_EQ(text,
+            "mode=fuzz;jobs=123;policy=strict;shape=reconvergent;"
+            "engine=sliced");
+  const auto back = dist::named_campaign_from_string(text);
+  EXPECT_EQ(dist::named_campaign_to_string(back), text);
+  EXPECT_THROW(dist::named_campaign_from_string("mode=fuzz"), ApiError);
+  EXPECT_THROW(dist::named_campaign_from_string("jobs=3"), ApiError);
+  EXPECT_THROW(dist::named_campaign_from_string("mode=fuzz;jobs=x"),
+               ApiError);
+  EXPECT_THROW(
+      dist::named_campaign_from_string("mode=fuzz;jobs=3;color=red"),
+      ApiError);
+}
+
+TEST(Dist, ManifestRoundTripsAndRejectsTampering) {
+  const auto spec = fuzz_spec(30, xir::EngineMode::kInterp);
+  const auto m = dist::make_manifest(dist::named_campaign_to_string(spec),
+                                     30, kSeed, kBudget, "interp",
+                                     dist::shard_range(30, 1, 3));
+  const Json doc = dist::manifest_to_json(m);
+  const auto back = dist::manifest_from_json(doc);
+  EXPECT_EQ(dist::manifest_to_json(back).dump(), doc.dump());
+
+  // A tampered spec string no longer matches the travelling hash.
+  ShardManifest forged = m;
+  forged.campaign =
+      "mode=fuzz;jobs=31;policy=variant;shape=composite;engine=interp";
+  EXPECT_THROW(dist::manifest_from_json(dist::manifest_to_json(forged)),
+               ApiError);
+  // A range that is not the planned slice of shard 1/3 is rejected.
+  ShardManifest shifted = m;
+  shifted.shard.lo = 9;
+  EXPECT_THROW(dist::manifest_from_json(dist::manifest_to_json(shifted)),
+               ApiError);
+}
+
+TEST(Dist, PartialDocumentRoundTrips) {
+  const auto spec = fuzz_spec(24, xir::EngineMode::kInterp);
+  const Partial p = run_shard(spec, 2, 1, 4);
+  const Json doc = dist::partial_to_json(p.manifest, p.aggregate);
+  const Partial back = dist::partial_from_json(doc);
+  EXPECT_EQ(dist::partial_to_json(back.manifest, back.aggregate).dump(2),
+            doc.dump(2));
+}
+
+// Satellite: the shard-determinism matrix.  1/2/4/8 shards × 1/2/8
+// engine threads × scalar/sliced evaluators, all merging to the exact
+// bytes of the unsharded aggregate over the 300-topology fuzz suite.
+TEST(Dist, MergeMatrixIsByteIdenticalToUnsharded) {
+  for (const auto engine :
+       {xir::EngineMode::kInterp, xir::EngineMode::kSliced}) {
+    const auto spec = fuzz_spec(300, engine);
+    const std::string golden = unsharded_bytes(spec, /*threads=*/2);
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        std::vector<Partial> parts;
+        for (std::size_t i = 0; i < shards; ++i) {
+          parts.push_back(run_shard(spec, threads, i, shards));
+        }
+        const auto merged = dist::merge_partials(std::move(parts));
+        EXPECT_EQ(campaign::to_json(merged).dump(2), golden)
+            << "shards=" << shards << " threads=" << threads
+            << " engine=" << xir::engine_mode_name(engine);
+      }
+    }
+  }
+}
+
+TEST(Dist, MergeRejectsForeignAndIncompleteShards) {
+  const auto spec = fuzz_spec(20, xir::EngineMode::kInterp);
+  const Partial p0 = run_shard(spec, 1, 0, 2);
+  const Partial p1 = run_shard(spec, 1, 1, 2);
+
+  EXPECT_THROW(dist::merge_partials({}), ApiError);
+  // Missing shard: gap at the tail.
+  EXPECT_THROW(dist::merge_partials({p0}), ApiError);
+  // Duplicate shard: overlap.
+  EXPECT_THROW(dist::merge_partials({p0, p0, p1}), ApiError);
+  // Foreign campaign: same layout, different base seed.
+  Partial foreign = p1;
+  foreign.manifest.base_seed = kSeed + 1;
+  EXPECT_THROW(dist::merge_partials({p0, foreign}), ApiError);
+  // Different job count entirely.
+  const Partial other = run_shard(fuzz_spec(22, xir::EngineMode::kInterp),
+                                  1, 1, 2);
+  EXPECT_THROW(dist::merge_partials({p0, other}), ApiError);
+  // The two real halves do merge.
+  const auto merged = dist::merge_partials({p0, p1});
+  EXPECT_EQ(merged.total, 20u);
+}
+
+/// One liplib.dist/1 round trip on a fresh loopback connection.
+Json dist_round_trip(std::uint16_t port, const Json& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  serve::write_frame(fd, request.dump());
+  std::string payload;
+  EXPECT_TRUE(serve::read_frame(fd, payload));
+  ::close(fd);
+  return Json::parse(payload);
+}
+
+TEST(Dist, CoordinatorSurvivesAStragglerAndMergesGoldenBytes) {
+  const auto spec = fuzz_spec(60, xir::EngineMode::kInterp);
+  const std::string golden = unsharded_bytes(spec, /*threads=*/2);
+
+  dist::CoordinatorOptions copts;
+  copts.spec = spec;
+  copts.base_seed = kSeed;
+  copts.cycle_budget = kBudget;
+  copts.shards = 4;
+  copts.lease_ms = 250;  // fast re-dispatch of the dead worker's shard
+  copts.wait_ms = 20;
+  dist::Coordinator coord(copts);
+  coord.start();
+  ASSERT_NE(coord.port(), 0);
+
+  // A worker that takes one lease and dies holding it.
+  dist::WorkerOptions dead;
+  dead.port = coord.port();
+  dead.threads = 1;
+  dead.die_after_lease = 1;
+  const auto dead_stats = dist::run_worker(dead);
+  EXPECT_EQ(dead_stats.leases, 1u);
+  EXPECT_EQ(dead_stats.submitted, 0u);
+
+  // Two honest workers finish the campaign, including the re-dispatch.
+  dist::WorkerStats w1, w2;
+  std::thread t1([&] {
+    dist::WorkerOptions w;
+    w.port = coord.port();
+    w.threads = 2;
+    w1 = dist::run_worker(w);
+  });
+  std::thread t2([&] {
+    dist::WorkerOptions w;
+    w.port = coord.port();
+    w.threads = 2;
+    w2 = dist::run_worker(w);
+  });
+  const auto merged = coord.wait();
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(campaign::to_json(merged).dump(2), golden);
+  const auto stats = coord.stats();
+  EXPECT_EQ(stats.shards_done, 4u);
+  EXPECT_GE(stats.leases_issued, 5u);  // 4 shards + the re-dispatch
+  EXPECT_GE(stats.redispatches, 1u);
+  EXPECT_GT(stats.bytes_merged, 0u);
+  // Every shard was accepted from exactly one honest worker.
+  EXPECT_EQ(w1.submitted + w2.submitted, 4u);
+}
+
+TEST(Dist, CoordinatorDedupsDuplicateResults) {
+  const auto spec = fuzz_spec(8, xir::EngineMode::kInterp);
+  dist::CoordinatorOptions copts;
+  copts.spec = spec;
+  copts.base_seed = kSeed;
+  copts.cycle_budget = kBudget;
+  copts.shards = 1;
+  dist::Coordinator coord(copts);
+  coord.start();
+
+  const Json lease = dist_round_trip(
+      coord.port(),
+      Json::object().set("rpc", dist::kDistRpcSchema).set("msg", "lease"));
+  ASSERT_EQ(lease.find("msg")->as_string(), "lease");
+  const auto manifest = dist::manifest_from_json(*lease.find("manifest"));
+  EXPECT_EQ(manifest.shard.lo, 0u);
+  EXPECT_EQ(manifest.shard.hi, 8u);
+
+  const Partial p = run_shard(spec, 1, 0, 1);
+  const Json submit = Json::object()
+                          .set("rpc", dist::kDistRpcSchema)
+                          .set("msg", "result")
+                          .set("partial",
+                               dist::partial_to_json(p.manifest,
+                                                     p.aggregate));
+  const Json first = dist_round_trip(coord.port(), submit);
+  EXPECT_TRUE(first.find("accepted")->as_bool());
+  // The straggler's identical copy: acknowledged but dropped.
+  const Json second = dist_round_trip(coord.port(), submit);
+  EXPECT_FALSE(second.find("accepted")->as_bool());
+  // A partial from a different campaign is an error, not a merge.
+  Partial foreign = run_shard(fuzz_spec(9, xir::EngineMode::kInterp), 1, 0, 1);
+  const Json rejected = dist_round_trip(
+      coord.port(), Json::object()
+                        .set("rpc", dist::kDistRpcSchema)
+                        .set("msg", "result")
+                        .set("partial",
+                             dist::partial_to_json(foreign.manifest,
+                                                   foreign.aggregate)));
+  EXPECT_EQ(rejected.find("msg")->as_string(), "error");
+
+  const auto stats = coord.stats();
+  EXPECT_EQ(stats.shards_done, 1u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  // Every shard merged: further lease requests answer "done".
+  const Json done = dist_round_trip(
+      coord.port(),
+      Json::object().set("rpc", dist::kDistRpcSchema).set("msg", "lease"));
+  EXPECT_EQ(done.find("msg")->as_string(), "done");
+  coord.wait();
+}
+
+TEST(Dist, ServeRelaysDistStatus) {
+  dist::CoordinatorOptions copts;
+  copts.spec = fuzz_spec(12, xir::EngineMode::kInterp);
+  copts.shards = 3;
+  dist::Coordinator coord(copts);
+  coord.start();
+
+  serve::ServeContext ctx;
+  const std::string payload = Json::object()
+                                  .set("rpc", serve::kRpcSchema)
+                                  .set("kind", "dist-status")
+                                  .set("port", coord.port())
+                                  .dump();
+  const Json response = Json::parse(serve::handle_payload(payload, ctx));
+  ASSERT_TRUE(response.find("ok")->as_bool());
+  EXPECT_EQ(response.find("kind")->as_string(), "dist-status");
+  const Json* result = response.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("schema")->as_string(),
+            "liplib.serve.dist_status/1");
+  const Json* status = result->find("coordinator");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->find("schema")->as_string(), "liplib.dist.status/1");
+  EXPECT_EQ(status->find("shards")->find("total")->as_uint(), 3u);
+  EXPECT_EQ(status->find("shards")->find("pending")->as_uint(), 3u);
+
+  // A dead coordinator port answers with an error envelope, not a hang.
+  const std::string refused =
+      serve::handle_payload(Json::object()
+                                .set("rpc", serve::kRpcSchema)
+                                .set("kind", "dist-status")
+                                .set("port", 1)
+                                .dump(),
+                            ctx);
+  EXPECT_FALSE(Json::parse(refused).find("ok")->as_bool());
+  // A missing port is a validation error.
+  const std::string invalid =
+      serve::handle_payload(Json::object()
+                                .set("rpc", serve::kRpcSchema)
+                                .set("kind", "dist-status")
+                                .dump(),
+                            ctx);
+  EXPECT_FALSE(Json::parse(invalid).find("ok")->as_bool());
+  // Both well-formed relays were counted under the new kind.
+  EXPECT_EQ(ctx.requests_by_kind[static_cast<int>(
+                                     serve::RequestKind::kDistStatus)]
+                .value(),
+            2u);
+}
+
+TEST(Dist, WorkerWithoutACoordinatorFailsLoudly) {
+  dist::WorkerOptions w;
+  w.port = 1;  // nothing listens here
+  EXPECT_THROW(dist::run_worker(w), ApiError);
+}
+
+}  // namespace
