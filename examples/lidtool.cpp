@@ -24,6 +24,8 @@
 //   lidtool serve     ...           multi-tenant lint/screen/profile daemon
 //                                   with a content-addressed result cache
 //   lidtool client    ...           scripted requests against a daemon
+//   lidtool trace     ...           merge/scrape liplib.trace/1 span docs and
+//                                   probe Perfetto files into one timeline
 //
 // Run without arguments for a demo on the paper's Fig. 1 design.
 
@@ -64,6 +66,7 @@
 #include "liplib/support/table.hpp"
 #include "liplib/telemetry/bench_diff.hpp"
 #include "liplib/telemetry/watchdog.hpp"
+#include "liplib/trace/trace.hpp"
 #include "liplib/xir/xir.hpp"
 
 using namespace liplib;
@@ -179,6 +182,9 @@ distributed campaign commands (see docs/dist.md):
     --lease-ms N   lease deadline before re-dispatch (default 30000)
     --policy P / --shape S / --engine E   fuzz-job knobs as for campaign
     --json PATH    write the merged aggregate as JSON
+    --trace PATH   record the lease -> execute -> merge span timeline
+                   (workers trace automatically when leases carry the
+                   context) and write the liplib.trace/1 document
   dist work                     pull shard leases from a coordinator, run
                                 them, submit partial aggregates
     --port N       coordinator port (required)
@@ -209,7 +215,9 @@ serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
                                 exit 0 live/clean, 1 diagnosed, 2 error
     kinds: lint <file.lid> | screen <file.lid> | profile <file.lid> |
            prove <file.lid> | campaign <fuzz|lint|probe|prove> <jobs> |
-           status | shutdown | dist-status
+           status | shutdown | dist-status | metrics | trace
+           (metrics prints the raw Prometheus exposition text; trace
+           prints the daemon's liplib.trace/1 span document)
     --port N       daemon port (default 7177)
     --policy P     variant | strict (screen / prove / campaign)
     --engine E     interp | compiled | sliced (screen / prove / campaign)
@@ -221,6 +229,18 @@ serve commands (the liplib.rpc/1 daemon; see docs/serve.md):
     --seed S       campaign base seed (default 1)
     --coordinator N   dist coordinator port to relay (dist-status)
     --id X         request id echoed in the response
+    --trace FILE   attach a trace context to the request (the daemon's
+                   spans join the client's trace) and write the client
+                   round-trip span document to FILE
+
+observability commands (see docs/trace.md and docs/observability.md):
+  trace [files...]              merge liplib.trace/1 span documents and
+                                Chrome/Perfetto trace files (lidtool
+                                profile --trace output) into one timeline
+    --scrape PORT       also scrape a serve daemon's span document
+    --scrape-dist PORT  also scrape a dist coordinator's span document
+    -o FILE             write the merged Perfetto JSON (ui.perfetto.dev)
+    --check             exit 1 when span parent/child integrity is broken
 
 other:
   --help, -h, help              this text
@@ -1245,6 +1265,7 @@ int cmd_merge(int argc, char** argv) {
 int cmd_dist_coordinate(int argc, char** argv) {
   dist::CoordinatorOptions opts;
   std::string json_path;
+  std::string trace_path;
   std::vector<std::string> positional;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
@@ -1292,6 +1313,9 @@ int cmd_dist_coordinate(int argc, char** argv) {
                         "' (expected interp | compiled | sliced)");
     } else if (a == "--json") {
       json_path = value("--json");
+    } else if (a == "--trace") {
+      trace_path = value("--trace");
+      opts.trace = true;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown dist coordinate option '" << a << "'\n\n"
                 << kUsage;
@@ -1336,6 +1360,17 @@ int cmd_dist_coordinate(int argc, char** argv) {
     }
     os << campaign::to_json(agg).dump(2) << "\n";
     std::cout << "\nwrote " << json_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 2;
+    }
+    os << coord.trace_json().dump(2) << "\n";
+    std::cout << "wrote " << trace_path
+              << " (merge/export with `lidtool trace " << trace_path
+              << " -o out.json`)\n";
   }
   return agg.all_live() ? 0 : 1;
 }
@@ -1382,6 +1417,159 @@ int cmd_dist(int argc, char** argv) {
   if (sub == "work") return cmd_dist_work(argc, argv);
   std::cerr << "dist requires a role: coordinate | work\n\n" << kUsage;
   return 2;
+}
+
+// ---- trace subcommand -----------------------------------------------------
+
+/// One length-prefixed JSON round trip against a loopback daemon (serve
+/// or dist coordinator — both use liplib.rpc/1 framing).  Throws
+/// ApiError when the peer is unreachable or answers garbage.
+Json loopback_rpc(std::uint16_t port, const Json& request,
+                  const char* who) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LIPLIB_EXPECT(fd >= 0, std::string("socket failed: ") +
+                             std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ApiError(std::string("cannot connect to ") + who +
+                   " on 127.0.0.1:" + std::to_string(port) + ": " +
+                   std::strerror(err));
+  }
+  try {
+    serve::write_frame(fd, request.dump());
+    std::string payload;
+    LIPLIB_EXPECT(serve::read_frame(fd, payload),
+                  std::string(who) +
+                      " closed the connection without answering");
+    ::close(fd);
+    return Json::parse(payload);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+/// `lidtool trace`: fold span documents (files and/or live scrapes) and
+/// Chrome/Perfetto trace files into one timeline; check integrity;
+/// optionally export merged Perfetto JSON.
+int cmd_trace(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string out_path;
+  bool check = false;
+  std::uint64_t scrape_port = 0;
+  std::uint64_t scrape_dist = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      LIPLIB_EXPECT(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "-o") {
+      out_path = value("-o");
+    } else if (a == "--scrape") {
+      scrape_port = parse_u64(value("--scrape"), "--scrape");
+    } else if (a == "--scrape-dist") {
+      scrape_dist = parse_u64(value("--scrape-dist"), "--scrape-dist");
+    } else if (a == "--check") {
+      check = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown trace option '" << a << "'\n\n" << kUsage;
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  std::vector<trace::Span> spans;
+  std::vector<std::string> raw_events;  // spliced Chrome events, verbatim
+  auto fold_doc = [&](const Json& doc, const std::string& origin) {
+    if (doc.is_object()) {
+      if (const Json* schema = doc.find("schema")) {
+        if (schema->is_string() &&
+            schema->as_string() == trace::kTraceSchema) {
+          for (trace::Span& s : trace::spans_from_json(doc)) {
+            spans.push_back(std::move(s));
+          }
+          return;
+        }
+      }
+      if (const Json* ev = doc.find("traceEvents")) {
+        LIPLIB_EXPECT(ev->is_array(),
+                      origin + ": 'traceEvents' must be an array");
+        for (const Json& e : ev->elements()) raw_events.push_back(e.dump());
+        return;
+      }
+    }
+    if (doc.is_array()) {  // bare Chrome JSON Array Format
+      for (const Json& e : doc.elements()) raw_events.push_back(e.dump());
+      return;
+    }
+    throw ApiError(origin + ": neither a " + trace::kTraceSchema +
+                   " document nor Chrome trace JSON");
+  };
+
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    fold_doc(Json::parse(ss.str()), file);
+  }
+  if (scrape_port) {
+    const Json response = loopback_rpc(
+        static_cast<std::uint16_t>(scrape_port),
+        Json::object().set("rpc", serve::kRpcSchema).set("kind", "trace"),
+        "serve daemon");
+    const Json* ok = response.find("ok");
+    LIPLIB_EXPECT(ok && ok->is_bool() && ok->as_bool(),
+                  "serve daemon rejected the trace scrape");
+    const Json* result = response.find("result");
+    LIPLIB_EXPECT(result, "trace response carries no result");
+    fold_doc(*result, "serve scrape");
+  }
+  if (scrape_dist) {
+    const Json response = loopback_rpc(
+        static_cast<std::uint16_t>(scrape_dist),
+        Json::object().set("rpc", dist::kDistRpcSchema).set("msg", "trace"),
+        "dist coordinator");
+    const Json* doc = response.find("doc");
+    LIPLIB_EXPECT(doc, "coordinator trace response carries no 'doc'");
+    fold_doc(*doc, "dist scrape");
+  }
+
+  std::string err;
+  const bool sound = trace::check_integrity(spans, &err);
+  std::vector<std::uint64_t> traces;
+  for (const auto& s : spans) traces.push_back(s.trace_id);
+  std::sort(traces.begin(), traces.end());
+  traces.erase(std::unique(traces.begin(), traces.end()), traces.end());
+  std::cout << spans.size() << " span(s) across " << traces.size()
+            << " trace(s), " << raw_events.size()
+            << " spliced probe event(s); integrity "
+            << (sound ? "ok" : "BROKEN: " + err) << "\n";
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 2;
+    }
+    probe::TraceSink sink(os);
+    trace::export_perfetto(spans, sink);
+    for (const auto& e : raw_events) sink.raw_event(e);
+    sink.finish();
+    std::cout << "wrote " << out_path << " (" << sink.bytes_written()
+              << " bytes; open at ui.perfetto.dev)\n";
+  }
+  return sound ? 0 : (check ? 1 : 0);
 }
 
 // ---- serve / client subcommands -------------------------------------------
@@ -1440,6 +1628,7 @@ int cmd_client(int argc, char** argv) {
   std::uint16_t port = 7177;
   Json request = Json::object().set("rpc", serve::kRpcSchema);
   std::string kind;
+  std::string trace_out;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -1470,6 +1659,8 @@ int cmd_client(int argc, char** argv) {
                   parse_u64(value("--coordinator"), "--coordinator"));
     } else if (a == "--id") {
       request.set("id", value("--id"));
+    } else if (a == "--trace") {
+      trace_out = value("--trace");
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown client option '" << a << "'\n\n" << kUsage;
       return 2;
@@ -1481,7 +1672,8 @@ int cmd_client(int argc, char** argv) {
   }
   if (kind.empty()) {
     std::cerr << "client requires a request kind: lint | screen | profile | "
-                 "prove | campaign | status | shutdown | dist-status\n\n"
+                 "prove | campaign | status | shutdown | dist-status | "
+                 "metrics | trace\n\n"
               << kUsage;
     return 2;
   }
@@ -1509,7 +1701,7 @@ int cmd_client(int argc, char** argv) {
     request.set("mode", positional[0]);
     request.set("jobs", parse_u64(positional[1], "campaign jobs"));
   } else if (kind == "status" || kind == "shutdown" ||
-             kind == "dist-status") {
+             kind == "dist-status" || kind == "metrics" || kind == "trace") {
     if (!positional.empty()) {
       std::cerr << "client " << kind << " takes no arguments\n";
       return 2;
@@ -1517,6 +1709,22 @@ int cmd_client(int argc, char** argv) {
   } else {
     std::cerr << "unknown client request kind '" << kind << "'\n\n" << kUsage;
     return 2;
+  }
+
+  // --trace: derive a client-side trace context from the request bytes
+  // (before the trace member joins them, so the id is reproducible from
+  // the request alone) and hand it to the daemon, which parents its
+  // serve-side spans under ours.
+  trace::Recorder client_rec;
+  std::uint64_t client_trace_id = 0;
+  std::uint64_t client_span = 0;
+  std::uint64_t client_t0 = 0;
+  if (!trace_out.empty()) {
+    client_trace_id = trace::derive_trace_id(serve::fnv1a64(request.dump()));
+    client_span = trace::derive_span_id(client_trace_id, 0, 0);
+    request.set("trace",
+                trace::TraceContext{client_trace_id, client_span}.to_json());
+    client_t0 = client_rec.now_us();
   }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -1542,11 +1750,22 @@ int cmd_client(int argc, char** argv) {
       throw ApiError("server closed the connection without answering");
     }
     const Json response = Json::parse(payload);
-    std::cout << response.dump(2) << "\n";
     const Json* ok = response.find("ok");
-    if (ok && ok->is_bool() && ok->as_bool()) {
+    const bool succeeded = ok && ok->is_bool() && ok->as_bool();
+    const Json* result = response.find("result");
+    if (kind == "metrics" && succeeded && result) {
+      // Prometheus exposition is a text format: print it raw so the
+      // output pipes straight into promtool / a scrape file.
+      const Json* text = result->find("text");
+      LIPLIB_EXPECT(text && text->is_string(),
+                    "metrics response carries no text");
+      std::cout << text->as_string();
+    } else {
+      std::cout << response.dump(2) << "\n";
+    }
+    if (succeeded) {
       rc = 0;
-      if (const Json* result = response.find("result")) {
+      if (result) {
         if (const Json* verdict = result->find("verdict")) {
           const std::string& v = verdict->as_string();
           if (v != "live" && v != "clean" && v != "all_live" &&
@@ -1554,6 +1773,25 @@ int cmd_client(int argc, char** argv) {
             rc = 1;
           }
         }
+      }
+    }
+    if (!trace_out.empty()) {
+      trace::Span s;
+      s.trace_id = client_trace_id;
+      s.span_id = client_span;
+      s.name = "client." + kind;
+      s.category = "client";
+      s.track = "client";
+      s.ts_us = client_t0;
+      s.dur_us = client_rec.now_us() - client_t0;
+      s.attrs.emplace_back("ok", succeeded ? "true" : "false");
+      client_rec.record(std::move(s));
+      std::ofstream os(trace_out);
+      if (!os) {
+        std::cerr << "cannot write " << trace_out << "\n";
+        rc = 2;
+      } else {
+        os << client_rec.to_json().dump(2) << "\n";
       }
     }
   } catch (const std::exception& e) {
@@ -1579,6 +1817,7 @@ int main(int argc, char** argv) {
     if (cmd == "bench") return cmd_bench(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
+    if (cmd == "trace") return cmd_trace(argc, argv);
 
     graph::Topology topo;
     // Arguments after the netlist file; every command must consume all

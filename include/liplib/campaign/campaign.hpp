@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "liplib/support/rational.hpp"
+#include "liplib/trace/trace.hpp"
 
 namespace liplib::campaign {
 
@@ -125,6 +126,18 @@ struct EngineOptions {
   /// 64 jobs per chunk).  Determinism is unaffected — results are
   /// written by job index regardless of which worker runs a chunk.
   std::size_t chunk_size = 0;
+  /// When non-null (and `trace_parent` is enabled), the run records one
+  /// "campaign.chunk" span per executed chunk into this recorder.  Under
+  /// tracing the auto chunk size switches to a thread-independent split
+  /// (min(64, max(1, n/32)) over the *global* index range), and span ids
+  /// are keyed by the chunk's first global job index — so the recorded
+  /// span set is byte-identical at any worker-thread count.
+  trace::Recorder* recorder = nullptr;
+  /// Trace identity the chunk spans attach to: trace_parent.trace_id is
+  /// the campaign's trace, trace_parent.parent_span the enclosing
+  /// execute span.  Disabled (all-zero) = no spans even if a recorder is
+  /// set.
+  trace::TraceContext trace_parent;
 };
 
 /// Execution statistics of one Engine::run (for benchmarking and for

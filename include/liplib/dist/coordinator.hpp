@@ -10,10 +10,24 @@
 //       -> {"msg":"lease","manifest":{...liplib.shard/1...}}
 //        | {"msg":"wait","retry_ms":N}     every shard leased, none expired
 //        | {"msg":"done"}                  every shard merged
-//   {"rpc":"liplib.dist/1","msg":"result","partial":{...}}
+//   {"rpc":"liplib.dist/1","msg":"result","partial":{...},"spans":{...}}
 //       -> {"msg":"ack","accepted":true|false}
 //   {"rpc":"liplib.dist/1","msg":"status"}
 //       -> the liplib.dist.status/1 counter document
+//   {"rpc":"liplib.dist/1","msg":"metrics"}
+//       -> {"msg":"metrics","content_type":...,"text":<Prometheus text>}
+//   {"rpc":"liplib.dist/1","msg":"trace"}
+//       -> {"msg":"trace","doc":<liplib.trace/1 span document>}
+//
+// Tracing (CoordinatorOptions::trace): lease responses carry a "trace"
+// envelope member ({trace_id, parent_span = the lease's span id});
+// workers execute under that context and attach their span document to
+// the result message as "spans".  The coordinator folds accepted span
+// documents into its own recorder, records one "dist.lease" span per
+// merged shard (grant → accepted result), an explicit root-span event
+// for every expired-lease re-dispatch and every duplicate drop, and a
+// "dist.merge" span around the shard-order fold — so the scraped trace
+// is the whole campaign's lease → execute → merge timeline.
 //
 // Scheduling is pull-based: workers ask for leases, the coordinator
 // hands out pending shards with a deadline.  A shard whose lease
@@ -35,6 +49,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -44,6 +59,8 @@
 #include "liplib/campaign/report.hpp"
 #include "liplib/dist/shard.hpp"
 #include "liplib/support/json.hpp"
+#include "liplib/support/metrics.hpp"
+#include "liplib/trace/trace.hpp"
 
 namespace liplib::dist {
 
@@ -65,6 +82,18 @@ struct CoordinatorOptions {
   std::uint64_t lease_ms = 30000;
   /// Retry interval suggested to workers when nothing is leasable.
   std::uint64_t wait_ms = 100;
+  /// Enables span recording: lease responses carry a trace context,
+  /// worker span documents are folded in, and the `trace` message
+  /// answers with the campaign's span document.
+  bool trace = false;
+  /// Span-timestamp clock in microseconds; default = process steady
+  /// clock.  Injectable so trace output is byte-stable in tests.  Lease
+  /// deadlines keep their own real-time clock regardless.
+  std::function<std::uint64_t()> clock_us;
+  /// Optional enclosing trace (e.g. a serve request that launched the
+  /// campaign).  When disabled the trace id derives from the campaign
+  /// spec string's content hash.
+  trace::TraceContext parent;
 };
 
 /// Scheduling counters (the `status` answer; never part of the
@@ -106,6 +135,16 @@ class Coordinator {
   /// The "liplib.dist.status/1" counter document.
   Json status_json() const;
 
+  /// The campaign's "liplib.trace/1" span document: every recorded span
+  /// (lease spans, folded worker spans, the merge span) plus the
+  /// campaign root span synthesized over [start, now) carrying the
+  /// re-dispatch / duplicate events.  Valid whenever tracing is on.
+  Json trace_json() const;
+
+  /// Prometheus text exposition of the scheduling registry (outstanding
+  /// leases, shards done, expired-lease re-dispatches).
+  std::string metrics_text() const;
+
  private:
   enum class ShardState { kPending, kLeased, kDone };
   struct Slot {
@@ -114,6 +153,9 @@ class Coordinator {
     /// arbitrary epoch (only compared against now_ms()).
     std::uint64_t deadline_ms = 0;
     campaign::Aggregate aggregate;  ///< valid when kDone
+    std::uint64_t lease_span = 0;   ///< span id of the current lease
+    std::uint64_t lease_ts_us = 0;  ///< span clock at the current grant
+    std::uint64_t attempts = 0;     ///< leases granted for this shard
   };
 
   void accept_loop();
@@ -127,6 +169,11 @@ class Coordinator {
   std::string campaign_spec_;   ///< named_campaign_to_string(opts_.spec)
   std::size_t total_jobs_ = 0;  ///< job-vector length of the campaign
 
+  /// Trace identity (fixed at construction when tracing is on).
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
+  std::uint64_t start_us_ = 0;  ///< root-span start (set in start())
+
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
@@ -135,6 +182,14 @@ class Coordinator {
   std::condition_variable done_cv_;
   std::vector<Slot> slots_;
   CoordinatorStats stats_;
+  /// Root-span point events (re-dispatches, duplicate drops); guarded
+  /// by mu_ like the stats.
+  std::vector<trace::SpanEvent> root_events_;
+
+  trace::Recorder recorder_;
+  /// Mutable: the metrics scrape (const) mirrors live slot state into
+  /// the registry; the registry is self-synchronized.
+  mutable metrics::MetricsRegistry registry_;
 };
 
 }  // namespace liplib::dist

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace liplib::dist {
 
@@ -34,6 +35,10 @@ struct WorkerOptions {
   /// *taking* the Nth lease, without computing or submitting it — the
   /// deterministic straggler for the re-dispatch tests.  0 = disabled.
   std::size_t die_after_lease = 0;
+  /// Span-timestamp clock (microseconds) for traced shards; default =
+  /// process steady clock.  Tracing itself is coordinator-driven: the
+  /// worker records spans whenever a lease carries a trace context.
+  std::function<std::uint64_t()> clock_us;
 };
 
 /// What the loop did (for logs and tests).

@@ -61,6 +61,18 @@ class TraceSink {
       std::initializer_list<std::pair<std::string_view, std::uint64_t>>
           series);
 
+  /// An instant event (ph "i", thread scope): a point marker at `ts` on
+  /// track (pid, tid) — cache evictions, lease re-dispatches and other
+  /// fleet-level moments exported by liplib::trace.
+  void instant_event(std::string_view name, std::string_view category,
+                     std::uint64_t ts, std::uint64_t pid, std::uint64_t tid);
+
+  /// Splices one pre-rendered trace-event object (without separators)
+  /// into the stream verbatim — the merge path of `lidtool trace`,
+  /// which folds events from existing Chrome/Perfetto documents (probe
+  /// exports) into the same timeline as freshly exported spans.
+  void raw_event(std::string_view event_json);
+
   /// Writes the closing bracket and flushes.  Idempotent; no events may
   /// be added afterwards (they are dropped).
   void finish();

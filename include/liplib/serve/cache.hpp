@@ -80,8 +80,10 @@ class ResultCache {
 
   /// Inserts (or overwrites) `key`, then evicts LRU entries until the
   /// byte budget holds.  A value bigger than the whole budget is
-  /// accepted and evicted alone on the next insertion.
-  void insert(const std::string& key, std::string value);
+  /// accepted and evicted alone on the next insertion.  Returns the
+  /// number of entries evicted by this insertion (the request handler
+  /// turns a non-zero count into a "cache.evict" span event).
+  std::size_t insert(const std::string& key, std::string value);
 
   /// Drops every entry (counters are preserved; the drop is not counted
   /// as eviction).

@@ -13,10 +13,13 @@
 //
 // Requests: {"rpc": "liplib.rpc/1", "kind": <kind>, ...} with kinds
 // lint | screen | profile | campaign | prove | status | shutdown |
-// dist-status.  Responses
+// dist-status | metrics | trace.  Responses
 // echo the request's optional "id" verbatim and carry either
 // "ok": true plus a "result" document or "ok": false plus "error".
-// The full field catalog lives in docs/serve.md.
+// An optional "trace" envelope member ({"trace_id", "parent_span"},
+// liplib/trace) joins the request to a caller-side trace; peers that do
+// not know the field ignore it.
+// The full field catalog lives in docs/serve.md and docs/trace.md.
 //
 // Everything here is deliberately free of server state so the codec and
 // validation layer can be unit-tested without sockets.
@@ -28,6 +31,7 @@
 #include <string_view>
 
 #include "liplib/support/json.hpp"
+#include "liplib/trace/trace.hpp"
 
 namespace liplib::serve {
 
@@ -68,7 +72,16 @@ enum class RequestKind : std::uint8_t {
   /// liplib.dist/1 and wraps the answer — fleet dashboards scrape one
   /// endpoint for both the cache and the campaign in flight.
   kDistStatus,
+  /// Prometheus text exposition of the daemon's MetricsRegistry
+  /// (request-latency histograms split by kind/engine/cache outcome).
+  kMetrics,
+  /// The daemon's accumulated span document ("liplib.trace/1") — the
+  /// scrape side of `lidtool trace`.
+  kTrace,
 };
+
+/// Number of request kinds (sizes the per-kind counter array).
+inline constexpr int kRequestKindCount = 10;
 
 /// Stable wire name of a request kind ("lint", "screen", ...).
 const char* request_kind_name(RequestKind k);
@@ -95,6 +108,9 @@ struct Request {
   bool worst_case = false;   ///< prove: start from worst-case occupancy
   /// dist-status: loopback port of the dist coordinator to query.
   std::uint64_t port = 0;
+  /// Optional caller-side trace context (the "trace" envelope member);
+  /// disabled (all-zero) when absent.
+  trace::TraceContext trace;
 };
 
 /// Validates a parsed request document: schema tag, known kind, known

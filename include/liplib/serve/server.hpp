@@ -70,19 +70,25 @@ struct ServerOptions {
   std::uint64_t watchdog_threshold = 64;
 };
 
-/// Shared state of one daemon instance: options, the result cache and
-/// the status counters.  Owned by Server in production; constructed
-/// standalone in tests that exercise handle_payload directly.
+/// Shared state of one daemon instance: options, the result cache, the
+/// status counters, the span recorder and the scrapeable metrics
+/// registry.  Owned by Server in production; constructed standalone in
+/// tests that exercise handle_payload directly.
 struct ServeContext {
+  /// `now_ms` is the cache TTL clock, `now_us` the span/latency clock;
+  /// both default to the process steady clock and are injectable so
+  /// trace output is byte-stable in tests.
   explicit ServeContext(ServerOptions options = {},
-                        std::function<std::uint64_t()> now_ms = {});
+                        std::function<std::uint64_t()> now_ms = {},
+                        std::function<std::uint64_t()> now_us = {});
 
   ServerOptions opts;
   ResultCache cache;
 
   std::mutex mu;  ///< guards the counters below
   metrics::Counter requests_total;
-  metrics::Counter requests_by_kind[8];  ///< indexed by RequestKind
+  /// Indexed by RequestKind.
+  metrics::Counter requests_by_kind[kRequestKindCount];
   metrics::Counter protocol_errors;      ///< malformed frames / requests
   metrics::Counter request_errors;       ///< well-formed requests that failed
   metrics::Counter deadlock_verdicts;    ///< watchdog-tripped answers
@@ -93,10 +99,19 @@ struct ServeContext {
   metrics::Counter engine_misses[3];
   metrics::Gauge inflight;               ///< requests being computed now
 
+  /// Request-lifecycle spans (serve.<kind> roots with cache-lookup /
+  /// execute children); scraped via the `trace` request kind.
+  trace::Recorder recorder;
+  /// The scrapeable registry (`metrics` request kind):
+  /// liplib_serve_request_latency_us{kind,engine,cache} histograms plus
+  /// cache occupancy gauges.  Self-synchronized; not guarded by `mu`.
+  metrics::MetricsRegistry registry;
+
   std::atomic<bool> draining{false};  ///< set by a shutdown request
 
   /// Counter snapshot for the status document (schema
-  /// "liplib.serve.status/1"); includes the cache counters.
+  /// "liplib.serve.status/2"); includes the cache counters plus the
+  /// top-level `evictions` counter and `cache_bytes` gauge.
   Json status_json();
 };
 

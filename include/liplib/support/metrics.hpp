@@ -12,11 +12,20 @@
 // nearest-rank over the bucket counts and report the bucket's inclusive
 // upper bound — a deterministic over-approximation whose error is bounded
 // by the bucket width (exact tracked min/max are reported alongside).
+//
+// MetricsRegistry names and labels these primitives and exposes them in
+// Prometheus text format — the scrapeable face of the serve daemon
+// (`metrics` request kind) and the dist coordinator.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "liplib/support/check.hpp"
 #include "liplib/support/json.hpp"
@@ -194,6 +203,230 @@ class LogHistogram {
   std::uint64_t total_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+};
+
+/// The kind of a metric family.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// A named, labelled registry over the three primitives, exposable in
+/// Prometheus text format (version 0.0.4 — the serve daemon's `metrics`
+/// request kind returns exactly expose_text()).
+///
+/// Families are created on first use and typed by that use; a later
+/// access under a different type throws ApiError.  Children are keyed
+/// by their label set (labels are sorted by key internally, so
+/// {a=1,b=2} and {b=2,a=1} are the same child).  Every operation —
+/// including expose_text() — takes the registry mutex, so concurrent
+/// request threads may record while a scraper reads.
+///
+/// Exposition is deterministic: families sort by name, children by
+/// rendered label string, histogram buckets ascending — a registry with
+/// the same contents always exposes the same bytes.
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Attaches HELP text to a family (creates it with `type` if new).
+  void describe(const std::string& name, MetricType type,
+                const std::string& help) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Family& f = family_locked(name, type);
+    f.help = help;
+  }
+
+  void counter_add(const std::string& name, const Labels& labels,
+                   std::uint64_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    family_locked(name, MetricType::kCounter)
+        .counters[label_key(labels)]
+        .add(n);
+  }
+
+  void gauge_set(const std::string& name, const Labels& labels,
+                 std::int64_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    family_locked(name, MetricType::kGauge).gauges[label_key(labels)].set(v);
+  }
+
+  void gauge_add(const std::string& name, const Labels& labels,
+                 std::int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    family_locked(name, MetricType::kGauge)
+        .gauges[label_key(labels)]
+        .add(delta);
+  }
+
+  void observe(const std::string& name, const Labels& labels,
+               std::uint64_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    family_locked(name, MetricType::kHistogram)
+        .histograms[label_key(labels)]
+        .record(v);
+  }
+
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Family* f = find_family_locked(name);
+    if (!f) return 0;
+    const auto it = f->counters.find(label_key(labels));
+    return it == f->counters.end() ? 0 : it->second.value();
+  }
+
+  std::int64_t gauge_value(const std::string& name,
+                           const Labels& labels) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Family* f = find_family_locked(name);
+    if (!f) return 0;
+    const auto it = f->gauges.find(label_key(labels));
+    return it == f->gauges.end() ? 0 : it->second.value();
+  }
+
+  /// Sum of sample counts over every child of a histogram family whose
+  /// labels include all of `labels` (exact child when all labels are
+  /// given, per-dimension subtotal otherwise).
+  std::uint64_t histogram_count(const std::string& name,
+                                const Labels& labels) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Family* f = find_family_locked(name);
+    if (!f) return 0;
+    std::uint64_t n = 0;
+    for (const auto& [key, h] : f->histograms) {
+      bool match = true;
+      for (const auto& [lk, lv] : labels) {
+        if (key.find(render_label(lk, lv)) == std::string::npos) {
+          match = false;
+          break;
+        }
+      }
+      if (match) n += h.count();
+    }
+    return n;
+  }
+
+  /// Prometheus text exposition (content type
+  /// "text/plain; version=0.0.4").  Histograms render cumulative
+  /// `le`-bucketed series over the non-empty log2 buckets plus "+Inf",
+  /// with `_sum` and `_count`.
+  std::string expose_text() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto& [name, f] : families_) {
+      if (!f.help.empty()) {
+        out += "# HELP " + name + " " + f.help + "\n";
+      }
+      out += "# TYPE " + name + " " + type_name(f.type) + "\n";
+      switch (f.type) {
+        case MetricType::kCounter:
+          for (const auto& [key, c] : f.counters) {
+            out += name + key + " " + std::to_string(c.value()) + "\n";
+          }
+          break;
+        case MetricType::kGauge:
+          for (const auto& [key, g] : f.gauges) {
+            out += name + key + " " + std::to_string(g.value()) + "\n";
+          }
+          break;
+        case MetricType::kHistogram:
+          for (const auto& [key, h] : f.histograms) {
+            std::uint64_t cum = 0;
+            for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+              if (h.bucket(b) == 0) continue;
+              cum += h.bucket(b);
+              out += name + "_bucket" +
+                     with_le(key, std::to_string(LogHistogram::bucket_hi(b))) +
+                     " " + std::to_string(cum) + "\n";
+            }
+            out += name + "_bucket" + with_le(key, "+Inf") + " " +
+                   std::to_string(h.count()) + "\n";
+            out += name + "_sum" + key + " " + std::to_string(h.total()) +
+                   "\n";
+            out += name + "_count" + key + " " + std::to_string(h.count()) +
+                   "\n";
+          }
+          break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, LogHistogram> histograms;
+  };
+
+  static const char* type_name(MetricType t) {
+    switch (t) {
+      case MetricType::kCounter: return "counter";
+      case MetricType::kGauge: return "gauge";
+      case MetricType::kHistogram: return "histogram";
+    }
+    return "untyped";
+  }
+
+  static std::string escape_label_value(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '"') out += "\\\"";
+      else if (c == '\n') out += "\\n";
+      else out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string render_label(const std::string& k,
+                                  const std::string& v) {
+    return k + "=\"" + escape_label_value(v) + "\"";
+  }
+
+  /// Canonical child key: `{a="1",b="2"}` with keys sorted, or "" for
+  /// the label-free child.
+  static std::string label_key(Labels labels) {
+    if (labels.empty()) return "";
+    std::sort(labels.begin(), labels.end());
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) out.push_back(',');
+      out += render_label(labels[i].first, labels[i].second);
+    }
+    out.push_back('}');
+    return out;
+  }
+
+  /// Appends the `le` label to a rendered child key.
+  static std::string with_le(const std::string& key, const std::string& le) {
+    if (key.empty()) return "{le=\"" + le + "\"}";
+    std::string out = key;
+    out.pop_back();  // trailing '}'
+    out += ",le=\"" + le + "\"}";
+    return out;
+  }
+
+  Family& family_locked(const std::string& name, MetricType type) {
+    auto [it, inserted] = families_.try_emplace(name);
+    if (inserted) {
+      it->second.type = type;
+    } else {
+      LIPLIB_EXPECT(it->second.type == type,
+                    "metric family '" + name +
+                        "' already registered with a different type");
+    }
+    return it->second;
+  }
+
+  const Family* find_family_locked(const std::string& name) const {
+    const auto it = families_.find(name);
+    return it == families_.end() ? nullptr : &it->second;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
 };
 
 }  // namespace liplib::metrics

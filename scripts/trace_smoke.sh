@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# Smoke test for the liplib::trace observability stack, exercised
+# end-to-end through the shipped binary:
+#
+#   1. serve path: start a daemon, fire traced and untraced requests at
+#      it (`client --trace` propagates a caller context), scrape the
+#      span document with `lidtool trace --scrape` and the Prometheus
+#      text with `client metrics`;
+#   2. dist path: a 2-shard campaign through `dist coordinate --trace`
+#      with one worker killed while holding a lease — the written span
+#      timeline must contain the explicit dist.redispatch event and
+#      collapse to ONE trace id;
+#   3. merge: fold the client, serve and dist documents into a single
+#      Perfetto file with `lidtool trace --check`, which asserts span
+#      parent/child referential integrity;
+#   4. metrics: the request-latency histogram scrape is non-empty and
+#      its total count matches the status document's request counter.
+#
+# Usage: scripts/trace_smoke.sh [path/to/lidtool]
+# (default: build/examples/lidtool relative to the repo root)
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+lidtool="${1:-$repo_root/build/examples/lidtool}"
+
+if [ ! -x "$lidtool" ]; then
+  echo "trace_smoke: lidtool not found at $lidtool" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+server_pid=""
+coord_pid=""
+cleanup() {
+  for pid in "$server_pid" "$coord_pid"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
+    fi
+  done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "trace_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$work/serve.log" >&2 || true
+  echo "--- coordinator log ---" >&2
+  cat "$work/coord.log" >&2 || true
+  exit 1
+}
+
+# The paper's Fig. 1: live under both reset and worst-case occupancy.
+cat > "$work/fig1.lid" <<'EOF'
+source src
+process A 1 2
+process B 1 1
+process C 2 1
+sink out
+channel src.0 -> A.0
+channel A.0 -> B.0 : F
+channel B.0 -> C.0 : F
+channel A.1 -> C.1 : F
+channel C.0 -> out.0
+EOF
+
+# ---- 1. serve: traced requests, span + metrics scrapes ------------------
+
+"$lidtool" serve --port 0 --cache-mb 8 --ttl 600 > "$work/serve.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$work/serve.log" | head -n1)"
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before binding"
+  sleep 0.1
+done
+[ -n "$port" ] && [ "$port" != "0" ] || fail "could not learn the bound port"
+echo "trace_smoke: daemon up on port $port"
+
+"$lidtool" client --port "$port" lint "$work/fig1.lid" \
+  --trace "$work/client_trace.json" > /dev/null \
+  || fail "traced lint request failed"
+[ -s "$work/client_trace.json" ] || fail "client span document not written"
+grep -q '"liplib.trace/1"' "$work/client_trace.json" \
+  || fail "client span document is not a liplib.trace/1 document"
+"$lidtool" client --port "$port" screen "$work/fig1.lid" > /dev/null \
+  || fail "screen request failed"
+"$lidtool" client --port "$port" screen "$work/fig1.lid" > /dev/null \
+  || fail "repeat screen request (cache hit) failed"
+
+# The integrity check runs over the client document PLUS the scrape:
+# the traced request's serve-side root hangs off the client span, so a
+# standalone daemon scrape is a partial view by design — only the
+# merged forest is closed under parent links.
+"$lidtool" trace "$work/client_trace.json" --scrape "$port" \
+  -o "$work/serve_timeline.json" --check \
+  > "$work/serve_scrape.out" \
+  || fail "serve trace scrape failed the integrity check"
+grep -q "integrity ok" "$work/serve_scrape.out" \
+  || fail "serve scrape did not report integrity ok"
+grep -q '"traceEvents"' "$work/serve_timeline.json" \
+  || fail "exported serve timeline is not Chrome trace JSON"
+echo "trace_smoke: serve span scrape: $(cat "$work/serve_scrape.out")"
+
+# ---- 2. dist: traced 2-shard campaign with a killed worker --------------
+
+"$lidtool" dist coordinate fuzz 24 --seed 7 --budget 65536 \
+  --shards 2 --lease-ms 800 --trace "$work/dist_trace.json" \
+  > "$work/coord.log" 2>&1 &
+coord_pid=$!
+
+dport=""
+for _ in $(seq 1 100); do
+  dport="$(sed -n 's/.*on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+             "$work/coord.log" | head -n1)"
+  [ -n "$dport" ] && break
+  kill -0 "$coord_pid" 2>/dev/null || fail "coordinator exited before binding"
+  sleep 0.1
+done
+[ -n "$dport" ] && [ "$dport" != "0" ] || fail "no coordinator port"
+echo "trace_smoke: coordinator up on port $dport"
+
+# The casualty: takes one shard lease and dies holding it.
+"$lidtool" dist work --port "$dport" --threads 1 --die-after-lease 1 \
+  > /dev/null 2>&1 || fail "the doomed worker errored instead of dying"
+# The honest worker finishes the campaign, re-dispatch included.
+"$lidtool" dist work --port "$dport" --threads 2 > "$work/worker.log" 2>&1 &
+wpid=$!
+wait "$coord_pid"
+coord_rc=$?
+coord_pid=""
+wait "$wpid" || fail "honest worker failed"
+[ "$coord_rc" -eq 0 ] || fail "coordinator exited $coord_rc"
+
+[ -s "$work/dist_trace.json" ] || fail "coordinator span document not written"
+grep -q "dist.redispatch" "$work/dist_trace.json" \
+  || fail "killed worker's re-dispatch is not an explicit trace event"
+echo "trace_smoke: re-dispatch visible in the dist timeline"
+
+"$lidtool" trace "$work/dist_trace.json" --check > "$work/dist_check.out" \
+  || fail "dist span document failed the integrity check"
+grep -q "across 1 trace(s)" "$work/dist_check.out" \
+  || fail "dist campaign spans do not share one trace id"
+
+# ---- 3. one merged Perfetto timeline ------------------------------------
+
+"$lidtool" trace "$work/client_trace.json" "$work/dist_trace.json" \
+  --scrape "$port" --check -o "$work/merged.json" \
+  > "$work/merge.out" \
+  || fail "merged client+serve+dist timeline failed the integrity check"
+grep -q "integrity ok" "$work/merge.out" \
+  || fail "merge did not report integrity ok"
+grep -q '"traceEvents"' "$work/merged.json" \
+  || fail "merged export is not Chrome trace JSON"
+echo "trace_smoke: merged timeline: $(cat "$work/merge.out")"
+
+# ---- 4. Prometheus scrape vs status counters ----------------------------
+
+"$lidtool" client --port "$port" metrics > "$work/metrics.txt" \
+  || fail "metrics request failed"
+grep -q "# TYPE liplib_serve_request_latency_us histogram" "$work/metrics.txt" \
+  || fail "latency histogram family missing from the scrape"
+hist_total="$(awk '/^liplib_serve_request_latency_us_count\{/ {sum += $NF}
+                   END {print sum + 0}' "$work/metrics.txt")"
+[ "$hist_total" -ge 1 ] || fail "latency histogram scrape is empty"
+
+"$lidtool" client --port "$port" status > "$work/status.json" \
+  || fail "status request failed"
+status_total="$(awk '/"requests"/ {f = 1}
+                     f && /"total"/ {gsub(/[^0-9]/, ""); print; exit}' \
+                  "$work/status.json")"
+# The status request itself arrived after the metrics scrape observed
+# its own latency, so the counter must read exactly one more request.
+[ "$status_total" = "$((hist_total + 1))" ] \
+  || fail "histogram total $hist_total does not match status requests.total $status_total - 1"
+echo "trace_smoke: latency histogram count $hist_total == status counter $status_total - 1"
+
+"$lidtool" client --port "$port" shutdown > /dev/null \
+  || fail "shutdown request failed"
+wait "$server_pid"
+server_rc=$?
+server_pid=""
+[ "$server_rc" -eq 0 ] || fail "daemon exited $server_rc after shutdown"
+
+echo "trace_smoke: PASS"

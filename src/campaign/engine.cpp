@@ -152,28 +152,85 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
   std::vector<PaddedCount> per_worker(threads);
   PaddedSteals steals;
 
-  if (threads <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
+  trace::Recorder* rec = opts_.recorder;
+  const bool tracing = rec != nullptr && opts_.trace_parent.enabled();
+
+  /// Runs one chunk and (under tracing) records its span.  The span id
+  /// is keyed by the chunk's first *global* job index, never by which
+  /// worker ran it or in what order — with a thread-independent chunk
+  /// split this makes the span set identical at any thread count.
+  auto run_chunk = [&](const Chunk& c) {
+    const std::uint64_t ts = tracing ? rec->now_us() : 0;
+    for (std::size_t i = c.lo; i < c.hi; ++i) {
       results[i] = run_one(jobs[i], context_for(i));
+    }
+    if (tracing) {
+      trace::Span sp;
+      sp.trace_id = opts_.trace_parent.trace_id;
+      sp.span_id = trace::derive_span_id(
+          sp.trace_id, opts_.trace_parent.parent_span,
+          opts_.index_base + c.lo);
+      sp.parent_span = opts_.trace_parent.parent_span;
+      sp.name = "campaign.chunk";
+      sp.category = "campaign";
+      sp.track = "campaign";
+      sp.ts_us = ts;
+      sp.dur_us = rec->now_us() - ts;
+      sp.attrs.emplace_back("jobs", std::to_string(c.hi - c.lo));
+      sp.attrs.emplace_back("lo",
+                            std::to_string(opts_.index_base + c.lo));
+      rec->record(std::move(sp));
+    }
+  };
+
+  if (threads <= 1 || n <= 1) {
+    if (tracing) {
+      // The chunk split must match the multi-threaded one so the span
+      // set — not just the results — is thread-count-invariant.
+      std::size_t chunk = opts_.chunk_size;
+      if (chunk == 0) {
+        chunk = std::min<std::size_t>(
+            64, std::max<std::size_t>(1, n / std::size_t{32}));
+      }
+      for (std::size_t i = 0; i < n; i += chunk) {
+        run_chunk({i, std::min(n, i + chunk)});
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        results[i] = run_one(jobs[i], context_for(i));
+      }
     }
     per_worker.assign(1, PaddedCount{n});
   } else {
     // Fixed-size chunks of consecutive indices; auto sizing aims for ~8
     // chunks per worker so stealing still load-balances skewed costs.
+    // Under tracing the size ignores the thread count (each chunk is a
+    // span, and the span set must not depend on pool width).
     std::size_t chunk = opts_.chunk_size;
     if (chunk == 0) {
-      chunk = std::min<std::size_t>(
-          64, std::max<std::size_t>(1, n / (threads * std::size_t{8})));
+      chunk = tracing
+                  ? std::min<std::size_t>(
+                        64, std::max<std::size_t>(1, n / std::size_t{32}))
+                  : std::min<std::size_t>(
+                        64,
+                        std::max<std::size_t>(
+                            1, n / (threads * std::size_t{8})));
     }
 
-    // Contiguous slices: worker w starts on jobs [w*n/T, (w+1)*n/T),
-    // pre-split into chunks.
+    // One global chunk list over [0, n), dealt as contiguous runs:
+    // worker w starts on chunks [w*C/T, (w+1)*C/T) — the chunk
+    // boundaries themselves never depend on the worker count.
+    std::vector<Chunk> all;
+    all.reserve(n / chunk + 1);
+    for (std::size_t i = 0; i < n; i += chunk) {
+      all.push_back({i, std::min(n, i + chunk)});
+    }
     std::vector<WorkDeque> deques(threads);
     for (unsigned w = 0; w < threads; ++w) {
-      const std::size_t lo = n * w / threads;
-      const std::size_t hi = n * (w + 1) / threads;
-      for (std::size_t i = lo; i < hi; i += chunk) {
-        deques[w].chunks.push_back({i, std::min(hi, i + chunk)});
+      const std::size_t lo = all.size() * w / threads;
+      const std::size_t hi = all.size() * (w + 1) / threads;
+      for (std::size_t k = lo; k < hi; ++k) {
+        deques[w].chunks.push_back(all[k]);
       }
     }
 
@@ -182,9 +239,7 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
       Chunk c;
       for (;;) {
         if (deques[self].pop_front(c)) {
-          for (std::size_t i = c.lo; i < c.hi; ++i) {
-            results[i] = run_one(jobs[i], context_for(i));
-          }
+          run_chunk(c);
           done += c.hi - c.lo;
           continue;
         }
@@ -202,9 +257,7 @@ std::vector<JobResult> Engine::run(const std::vector<Job>& jobs,
         if (victim == threads) break;  // nothing left anywhere
         if (deques[victim].pop_back(c)) {
           steals.value.fetch_add(1, std::memory_order_relaxed);
-          for (std::size_t i = c.lo; i < c.hi; ++i) {
-            results[i] = run_one(jobs[i], context_for(i));
-          }
+          run_chunk(c);
           done += c.hi - c.lo;
         }
         // On a failed steal (raced another thief), re-scan; the loop

@@ -18,6 +18,7 @@
 #include "liplib/dist/shard.hpp"
 #include "liplib/serve/protocol.hpp"
 #include "liplib/support/check.hpp"
+#include "liplib/trace/trace.hpp"
 
 namespace liplib::dist {
 
@@ -67,8 +68,12 @@ bool round_trip(std::uint16_t port, const Json& request, Json* response) {
   return true;
 }
 
-/// Runs the leased slice and builds the partial document.
-Json compute_partial(const ShardManifest& m, unsigned threads) {
+/// Runs the leased slice and builds the partial document.  When
+/// `recorder` is non-null the engine records one span per chunk under
+/// `chunk_parent` (the worker's execute span).
+Json compute_partial(const ShardManifest& m, unsigned threads,
+                     trace::Recorder* recorder,
+                     trace::TraceContext chunk_parent) {
   const campaign::NamedCampaignSpec spec =
       named_campaign_from_string(m.campaign);
   const auto jobs = campaign::make_named_campaign(spec);
@@ -84,6 +89,8 @@ Json compute_partial(const ShardManifest& m, unsigned threads) {
   eopts.base_seed = m.base_seed;
   eopts.cycle_budget = m.cycle_budget;
   eopts.index_base = m.shard.lo;  // global identity: same seeds as unsharded
+  eopts.recorder = recorder;
+  eopts.trace_parent = chunk_parent;
   const auto results = campaign::Engine(eopts).run(slice);
   return partial_to_json(m, campaign::aggregate(results));
 }
@@ -129,11 +136,46 @@ WorkerStats run_worker(const WorkerOptions& opts) {
       // re-dispatches the shard once the lease deadline passes.
       return stats;
     }
-    const Json submit = Json::object()
-                            .set("rpc", kDistRpcSchema)
-                            .set("msg", "result")
-                            .set("partial",
-                                 compute_partial(manifest, opts.threads));
+    // Coordinator-driven tracing: a lease that carries a trace context
+    // gets a fresh per-shard recorder — one "dist.worker.execute" span
+    // wrapping the engine run (whose chunk spans nest under it) — and
+    // the span document travels back with the partial.
+    const trace::TraceContext lease_ctx =
+        trace::TraceContext::from_envelope(response);
+    Json partial;
+    Json spans_doc;
+    if (lease_ctx.enabled()) {
+      trace::Recorder rec(opts.clock_us);
+      const std::uint64_t exec_id =
+          trace::derive_span_id(lease_ctx.trace_id, lease_ctx.parent_span, 0);
+      const std::uint64_t ts = rec.now_us();
+      partial = compute_partial(
+          manifest, opts.threads, &rec,
+          trace::TraceContext{lease_ctx.trace_id, exec_id});
+      trace::Span ex;
+      ex.trace_id = lease_ctx.trace_id;
+      ex.span_id = exec_id;
+      ex.parent_span = lease_ctx.parent_span;
+      ex.name = "dist.worker.execute";
+      ex.category = "dist";
+      ex.track = "worker";
+      ex.ts_us = ts;
+      ex.dur_us = rec.now_us() - ts;
+      ex.attrs.emplace_back(
+          "shard", std::to_string(manifest.shard.index) + "/" +
+                       std::to_string(manifest.shard.count));
+      ex.attrs.emplace_back(
+          "jobs", std::to_string(manifest.shard.hi - manifest.shard.lo));
+      rec.record(std::move(ex));
+      spans_doc = rec.to_json();
+    } else {
+      partial = compute_partial(manifest, opts.threads, nullptr, {});
+    }
+    Json submit = Json::object()
+                      .set("rpc", kDistRpcSchema)
+                      .set("msg", "result")
+                      .set("partial", std::move(partial));
+    if (lease_ctx.enabled()) submit.set("spans", std::move(spans_doc));
     Json ack;
     if (!round_trip(opts.port, submit, &ack)) {
       stats.coordinator_gone = true;

@@ -133,6 +133,32 @@ void TraceSink::counter_event(
   maybe_flush();
 }
 
+void TraceSink::instant_event(std::string_view name,
+                              std::string_view category, std::uint64_t ts,
+                              std::uint64_t pid, std::uint64_t tid) {
+  if (finished_) return;
+  begin_event();
+  buf_ += "{\"name\":";
+  append_escaped(name);
+  buf_ += ",\"cat\":";
+  append_escaped(category);
+  buf_ += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+  append_u64(buf_, ts);
+  buf_ += ",\"pid\":";
+  append_u64(buf_, pid);
+  buf_ += ",\"tid\":";
+  append_u64(buf_, tid);
+  buf_ += "}";
+  maybe_flush();
+}
+
+void TraceSink::raw_event(std::string_view event_json) {
+  if (finished_) return;
+  begin_event();
+  buf_.append(event_json);
+  maybe_flush();
+}
+
 void TraceSink::finish() {
   if (finished_) return;
   finished_ = true;

@@ -64,7 +64,7 @@ std::optional<std::string> ResultCache::lookup(const std::string& key) {
   return it->value;
 }
 
-void ResultCache::insert(const std::string& key, std::string value) {
+std::size_t ResultCache::insert(const std::string& key, std::string value) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto found = index_.find(std::string_view(key));
   if (found != index_.end()) erase_locked(found->second);
@@ -80,10 +80,13 @@ void ResultCache::insert(const std::string& key, std::string value) {
 
   // Evict from the cold end; the entry just inserted is at the hot end
   // and survives unless it alone exceeds the whole budget.
+  std::size_t evicted = 0;
   while (bytes_ > opts_.capacity_bytes && lru_.size() > 1) {
     erase_locked(std::prev(lru_.end()));
     evictions_.add();
+    ++evicted;
   }
+  return evicted;
 }
 
 void ResultCache::clear() {

@@ -27,14 +27,28 @@
 namespace liplib::serve {
 
 ServeContext::ServeContext(ServerOptions options,
-                           std::function<std::uint64_t()> now_ms)
-    : opts(options), cache(options.cache, std::move(now_ms)) {}
+                           std::function<std::uint64_t()> now_ms,
+                           std::function<std::uint64_t()> now_us)
+    : opts(options),
+      cache(options.cache, std::move(now_ms)),
+      recorder(std::move(now_us)) {
+  registry.describe(
+      "liplib_serve_request_latency_us", metrics::MetricType::kHistogram,
+      "Request latency in microseconds by kind, engine and cache outcome.");
+  registry.describe("liplib_serve_cache_bytes", metrics::MetricType::kGauge,
+                    "Result cache occupancy in bytes.");
+  registry.describe("liplib_serve_cache_entries", metrics::MetricType::kGauge,
+                    "Result cache entry count.");
+  registry.describe("liplib_serve_cache_evictions_total",
+                    metrics::MetricType::kCounter,
+                    "Result cache entries evicted by the LRU byte budget.");
+}
 
 Json ServeContext::status_json() {
   std::lock_guard<std::mutex> lock(mu);
   Json requests = Json::object();
   requests.set("total", requests_total.value());
-  for (int k = 0; k < 8; ++k) {
+  for (int k = 0; k < kRequestKindCount; ++k) {
     requests.set(request_kind_name(static_cast<RequestKind>(k)),
                  requests_by_kind[k].value());
   }
@@ -48,10 +62,16 @@ Json ServeContext::status_json() {
                     .set("hits", engine_hits[e].value())
                     .set("misses", engine_misses[e].value()));
   }
+  const CacheStats cs = cache.stats();
   return Json::object()
-      .set("schema", "liplib.serve.status/1")
+      .set("schema", "liplib.serve.status/2")
       .set("draining", draining.load())
       .set("inflight", static_cast<std::int64_t>(inflight.value()))
+      // Top-level eviction / occupancy mirrors of the cache block, so a
+      // dashboard can alert on byte-budget pressure without digging into
+      // the nested document (the /2 additions; every /1 field remains).
+      .set("evictions", cs.evictions)
+      .set("cache_bytes", static_cast<std::uint64_t>(cs.bytes))
       .set("requests", std::move(requests))
       .set("engines", std::move(engines))
       .set("cache", cache.stats_json())
@@ -296,7 +316,9 @@ Computed compute_prove(const ParsedDesign& d, const Request& req,
 
 // ---- campaign -----------------------------------------------------------
 
-Computed compute_campaign(const Request& req, const ServerOptions& opts) {
+Computed compute_campaign(const Request& req, const ServerOptions& opts,
+                          trace::Recorder* recorder,
+                          trace::TraceContext chunk_parent) {
   campaign::NamedCampaignSpec spec;
   spec.mode = req.mode;
   spec.jobs = static_cast<std::size_t>(req.jobs);
@@ -308,6 +330,8 @@ Computed compute_campaign(const Request& req, const ServerOptions& opts) {
   eopts.threads = opts.threads;
   eopts.base_seed = req.seed;
   eopts.cycle_budget = effective_budget(req, opts);
+  eopts.recorder = recorder;
+  eopts.trace_parent = chunk_parent;
   const auto results = campaign::Engine(eopts).run(jobs);
   const auto agg = campaign::aggregate(results);
   Json result =
@@ -412,6 +436,7 @@ std::string cache_key(const Request& req, const ParsedDesign* design,
 }  // namespace
 
 std::string handle_payload(std::string_view payload, ServeContext& ctx) {
+  const std::uint64_t t0 = ctx.recorder.now_us();
   // Stage 1: decode.  Failures here are protocol errors; the id is
   // echoed when the document got far enough to carry one.
   Json doc;
@@ -437,24 +462,103 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
     ctx.requests_by_kind[static_cast<int>(req.kind)].add();
     ctx.inflight.add(1);
   }
-  auto finish = [&ctx](bool deadlock, bool error) {
-    std::lock_guard<std::mutex> lock(ctx.mu);
-    ctx.inflight.add(-1);
-    if (deadlock) ctx.deadlock_verdicts.add();
-    if (error) ctx.request_errors.add();
+
+  // Tracing identity: the trace id comes from the caller's context when
+  // present, else from the request's own content hash; the root span id
+  // mixes in the per-process sequence so repeated identical requests
+  // stay distinct spans of the same trace.  The trace scrape itself is
+  // not instrumented (a scrape must not grow what it reports).
+  const bool tracing = req.kind != RequestKind::kTrace;
+  const std::uint64_t trace_id =
+      req.trace.enabled() ? req.trace.trace_id
+                          : trace::derive_trace_id(fnv1a64(payload));
+  const std::uint64_t root_id = trace::derive_span_id(
+      trace_id, req.trace.parent_span, ctx.recorder.next_seq());
+  trace::Span root;
+  root.trace_id = trace_id;
+  root.span_id = root_id;
+  root.parent_span = req.trace.parent_span;
+  root.name = std::string("serve.") + request_kind_name(req.kind);
+  root.category = "serve";
+  root.track = "serve";
+  root.ts_us = t0;
+
+  const bool engine_labelled = req.kind == RequestKind::kScreen ||
+                               req.kind == RequestKind::kCampaign ||
+                               req.kind == RequestKind::kProve;
+  /// Closes the request: counters, the latency sample (kept equal to
+  /// the per-kind request counters whenever the daemon is idle) and the
+  /// root span.  `observe_latency` is false only for the metrics kind,
+  /// which records its sample *before* exposition instead.
+  auto finish = [&](bool deadlock, bool error, const char* cache_label,
+                    bool observe_latency = true) {
+    {
+      std::lock_guard<std::mutex> lock(ctx.mu);
+      ctx.inflight.add(-1);
+      if (deadlock) ctx.deadlock_verdicts.add();
+      if (error) ctx.request_errors.add();
+    }
+    const std::uint64_t t1 = ctx.recorder.now_us();
+    if (observe_latency) {
+      ctx.registry.observe(
+          "liplib_serve_request_latency_us",
+          {{"kind", request_kind_name(req.kind)},
+           {"engine", engine_labelled ? req.engine : "none"},
+           {"cache", cache_label}},
+          t1 - t0);
+    }
+    if (tracing) {
+      root.dur_us = t1 - t0;
+      root.attrs.emplace_back("cache", cache_label);
+      if (error) root.attrs.emplace_back("error", "1");
+      ctx.recorder.record(root);
+    }
   };
 
-  // Stage 2: dispatch.  status/shutdown answer live state and are never
-  // cached; everything else flows through the content-addressed cache.
+  // Stage 2: dispatch.  status/shutdown/metrics/trace answer live state
+  // and are never cached; everything else flows through the
+  // content-addressed cache.
   try {
     if (req.kind == RequestKind::kStatus) {
       const std::string result = ctx.status_json().dump();
-      finish(false, false);
+      finish(false, false, "none");
+      return success_envelope(req.id, req.kind, /*cached=*/false, result);
+    }
+    if (req.kind == RequestKind::kMetrics) {
+      // Occupancy mirrors and this request's own latency sample land
+      // before exposition, so an idle daemon's scrape is always
+      // self-consistent with its status counters.
+      const CacheStats cs = ctx.cache.stats();
+      ctx.registry.gauge_set("liplib_serve_cache_bytes", {},
+                             static_cast<std::int64_t>(cs.bytes));
+      ctx.registry.gauge_set("liplib_serve_cache_entries", {},
+                             static_cast<std::int64_t>(cs.entries));
+      ctx.registry.counter_add(
+          "liplib_serve_cache_evictions_total", {},
+          cs.evictions - ctx.registry.counter_value(
+                             "liplib_serve_cache_evictions_total", {}));
+      ctx.registry.observe("liplib_serve_request_latency_us",
+                           {{"kind", request_kind_name(req.kind)},
+                            {"engine", "none"},
+                            {"cache", "none"}},
+                           ctx.recorder.now_us() - t0);
+      const std::string result =
+          Json::object()
+              .set("schema", "liplib.serve.metrics/1")
+              .set("content_type", "text/plain; version=0.0.4")
+              .set("text", ctx.registry.expose_text())
+              .dump();
+      finish(false, false, "none", /*observe_latency=*/false);
+      return success_envelope(req.id, req.kind, /*cached=*/false, result);
+    }
+    if (req.kind == RequestKind::kTrace) {
+      const std::string result = ctx.recorder.to_json().dump();
+      finish(false, false, "none");
       return success_envelope(req.id, req.kind, /*cached=*/false, result);
     }
     if (req.kind == RequestKind::kDistStatus) {
       Computed relayed = compute_dist_status(req);
-      finish(false, false);
+      finish(false, false, "none");
       return success_envelope(req.id, req.kind, /*cached=*/false,
                               relayed.result);
     }
@@ -464,7 +568,7 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
                                      .set("schema", "liplib.serve.shutdown/1")
                                      .set("draining", true)
                                      .dump();
-      finish(false, false);
+      finish(false, false, "none");
       return success_envelope(req.id, req.kind, /*cached=*/false, result);
     }
 
@@ -479,12 +583,29 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
     const bool engine_keyed = req.kind == RequestKind::kScreen ||
                               req.kind == RequestKind::kCampaign;
     const int engine_idx = static_cast<int>(engine_of(req));
-    if (auto hit = ctx.cache.lookup(key)) {
+
+    const std::uint64_t lookup_ts = ctx.recorder.now_us();
+    auto hit = ctx.cache.lookup(key);
+    if (tracing) {
+      const std::uint64_t lookup_end = ctx.recorder.now_us();
+      trace::Span lk;
+      lk.trace_id = trace_id;
+      lk.span_id = trace::derive_span_id(trace_id, root_id, 1);
+      lk.parent_span = root_id;
+      lk.name = "serve.cache_lookup";
+      lk.category = "serve";
+      lk.track = "serve";
+      lk.ts_us = lookup_ts;
+      lk.dur_us = lookup_end - lookup_ts;
+      ctx.recorder.record(std::move(lk));
+      root.events.push_back({hit ? "cache.hit" : "cache.miss", lookup_end});
+    }
+    if (hit) {
       if (engine_keyed) {
         std::lock_guard<std::mutex> lock(ctx.mu);
         ctx.engine_hits[engine_idx].add();
       }
-      finish(false, false);
+      finish(false, false, "hit");
       return success_envelope(req.id, req.kind, /*cached=*/true, *hit);
     }
     if (engine_keyed) {
@@ -492,6 +613,8 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
       ctx.engine_misses[engine_idx].add();
     }
 
+    const std::uint64_t exec_ts = ctx.recorder.now_us();
+    const std::uint64_t exec_id = trace::derive_span_id(trace_id, root_id, 2);
     Computed computed;
     switch (req.kind) {
       case RequestKind::kLint: computed = compute_lint(design); break;
@@ -504,14 +627,35 @@ std::string handle_payload(std::string_view payload, ServeContext& ctx) {
       case RequestKind::kProve:
         computed = compute_prove(design, req, ctx.opts);
         break;
-      default: computed = compute_campaign(req, ctx.opts); break;
+      default:
+        computed = compute_campaign(req, ctx.opts,
+                                    tracing ? &ctx.recorder : nullptr,
+                                    trace::TraceContext{trace_id, exec_id});
+        break;
     }
-    ctx.cache.insert(key, computed.result);
-    finish(computed.deadlock, false);
+    if (tracing) {
+      trace::Span ex;
+      ex.trace_id = trace_id;
+      ex.span_id = exec_id;
+      ex.parent_span = root_id;
+      ex.name = "serve.execute";
+      ex.category = "serve";
+      ex.track = "serve";
+      ex.ts_us = exec_ts;
+      ex.dur_us = ctx.recorder.now_us() - exec_ts;
+      if (engine_labelled) ex.attrs.emplace_back("engine", req.engine);
+      ctx.recorder.record(std::move(ex));
+    }
+    const std::size_t evicted = ctx.cache.insert(key, computed.result);
+    if (tracing && evicted > 0) {
+      root.events.push_back({"cache.evict", ctx.recorder.now_us()});
+      root.attrs.emplace_back("evicted", std::to_string(evicted));
+    }
+    finish(computed.deadlock, false, "miss");
     return success_envelope(req.id, req.kind, /*cached=*/false,
                             computed.result);
   } catch (const std::exception& e) {
-    finish(false, true);
+    finish(false, true, "none");
     return error_envelope(req.id, e.what());
   }
 }

@@ -107,6 +107,8 @@ const char* request_kind_name(RequestKind k) {
     case RequestKind::kStatus: return "status";
     case RequestKind::kShutdown: return "shutdown";
     case RequestKind::kDistStatus: return "dist-status";
+    case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kTrace: return "trace";
   }
   return "unknown";
 }
@@ -155,7 +157,13 @@ Request parse_request(const Json& doc) {
   else if (kind == "status") req.kind = RequestKind::kStatus;
   else if (kind == "shutdown") req.kind = RequestKind::kShutdown;
   else if (kind == "dist-status") req.kind = RequestKind::kDistStatus;
+  else if (kind == "metrics") req.kind = RequestKind::kMetrics;
+  else if (kind == "trace") req.kind = RequestKind::kTrace;
   else throw ApiError("unknown request kind '" + kind + "'");
+
+  // The optional trace envelope: malformed contexts are protocol errors
+  // (from_json throws ApiError), absent ones leave tracing off.
+  req.trace = trace::TraceContext::from_envelope(doc);
 
   req.policy = string_field(doc, "policy", "variant");
   if (req.policy != "variant" && req.policy != "strict") {
@@ -221,6 +229,8 @@ Request parse_request(const Json& doc) {
     }
     case RequestKind::kStatus:
     case RequestKind::kShutdown:
+    case RequestKind::kMetrics:
+    case RequestKind::kTrace:
       break;
   }
   return req;

@@ -1,13 +1,16 @@
 // Unit tests for the support utilities: rationals, RNG, tables, VCD,
-// JSON parse limits.
+// JSON parse limits, and the metric primitives (LogHistogram edge
+// buckets, the labelled MetricsRegistry and its Prometheus exposition).
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 #include "liplib/support/check.hpp"
 #include "liplib/support/json.hpp"
+#include "liplib/support/metrics.hpp"
 #include "liplib/support/rational.hpp"
 #include "liplib/support/rng.hpp"
 #include "liplib/support/table.hpp"
@@ -210,6 +213,121 @@ TEST(Json, ParseTruncatedDocumentsFailWithOffsets) {
                           "tru", "12e", "{}{}"}) {
     EXPECT_THROW(Json::parse(bad), ApiError) << bad;
   }
+}
+
+// ---- LogHistogram edge buckets ------------------------------------------
+
+TEST(LogHistogram, TopBucketHoldsTheLargestSamples) {
+  // Samples at and above 2^63 land in the saturated top bucket (index
+  // 64) whose bounds are [2^63, 2^64-1] — no shift overflow on either
+  // boundary computation.
+  EXPECT_EQ(metrics::LogHistogram::bucket_of(~0ull), 64u);
+  EXPECT_EQ(metrics::LogHistogram::bucket_of(1ull << 63), 64u);
+  EXPECT_EQ(metrics::LogHistogram::bucket_lo(64), 1ull << 63);
+  EXPECT_EQ(metrics::LogHistogram::bucket_hi(64), ~0ull);
+  EXPECT_EQ(metrics::LogHistogram::bucket_hi(63), (1ull << 63) - 1);
+
+  metrics::LogHistogram h;
+  h.record(~0ull);
+  h.record(1ull << 63);
+  EXPECT_EQ(h.bucket(64), 2u);
+  EXPECT_EQ(h.min(), 1ull << 63);
+  EXPECT_EQ(h.max(), ~0ull);
+  // Percentiles clamp to the tracked exact max, never past it.
+  EXPECT_EQ(h.percentile(50), ~0ull);
+  EXPECT_EQ(h.percentile(100), ~0ull);
+}
+
+TEST(LogHistogram, SaturatedTopBucketRoundTripsThroughJson) {
+  metrics::LogHistogram h;
+  h.record(0);
+  h.record(~0ull);
+  const std::string bytes = h.to_json().dump();
+  // Through real parse: the 2^63 bucket boundary and the 2^64-1 sample
+  // must survive text serialization exactly (no double rounding).
+  const metrics::LogHistogram back =
+      metrics::LogHistogram::from_json(Json::parse(bytes));
+  EXPECT_EQ(back.count(), 2u);
+  EXPECT_EQ(back.bucket(0), 1u);
+  EXPECT_EQ(back.bucket(64), 1u);
+  EXPECT_EQ(back.max(), ~0ull);
+  EXPECT_EQ(back.to_json().dump(), bytes);
+}
+
+TEST(LogHistogram, MergePreservesSaturatedBuckets) {
+  metrics::LogHistogram a, b;
+  a.record(~0ull);
+  a.record(3);
+  b.record(1ull << 63);
+  b.record(0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bucket(64), 2u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), ~0ull);
+  // Merging an empty histogram is the identity.
+  const std::string before = a.to_json().dump();
+  a.merge(metrics::LogHistogram());
+  EXPECT_EQ(a.to_json().dump(), before);
+}
+
+// ---- MetricsRegistry ----------------------------------------------------
+
+TEST(MetricsRegistry, ExposesDeterministicPrometheusText) {
+  metrics::MetricsRegistry reg;
+  reg.describe("app_requests_total", metrics::MetricType::kCounter,
+               "Requests served.");
+  // Label order must not matter: {a,b} and {b,a} are the same child.
+  reg.counter_add("app_requests_total", {{"kind", "lint"}, {"ok", "1"}}, 2);
+  reg.counter_add("app_requests_total", {{"ok", "1"}, {"kind", "lint"}});
+  reg.gauge_set("app_inflight", {}, 3);
+  reg.observe("app_latency_us", {{"kind", "lint"}}, 0);
+  reg.observe("app_latency_us", {{"kind", "lint"}}, 5);
+
+  const std::string expected =
+      "# TYPE app_inflight gauge\n"
+      "app_inflight 3\n"
+      "# TYPE app_latency_us histogram\n"
+      "app_latency_us_bucket{kind=\"lint\",le=\"0\"} 1\n"
+      "app_latency_us_bucket{kind=\"lint\",le=\"7\"} 2\n"
+      "app_latency_us_bucket{kind=\"lint\",le=\"+Inf\"} 2\n"
+      "app_latency_us_sum{kind=\"lint\"} 5\n"
+      "app_latency_us_count{kind=\"lint\"} 2\n"
+      "# HELP app_requests_total Requests served.\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total{kind=\"lint\",ok=\"1\"} 3\n";
+  EXPECT_EQ(reg.expose_text(), expected);
+  EXPECT_EQ(reg.expose_text(), expected);  // scraping mutates nothing
+  EXPECT_EQ(reg.counter_value("app_requests_total",
+                              {{"ok", "1"}, {"kind", "lint"}}),
+            3u);
+  EXPECT_EQ(reg.gauge_value("app_inflight", {}), 3);
+}
+
+TEST(MetricsRegistry, HistogramCountFiltersByLabelSubset) {
+  metrics::MetricsRegistry reg;
+  reg.observe("lat", {{"kind", "lint"}, {"cache", "hit"}}, 1);
+  reg.observe("lat", {{"kind", "lint"}, {"cache", "miss"}}, 2);
+  reg.observe("lat", {{"kind", "screen"}, {"cache", "miss"}}, 3);
+  EXPECT_EQ(reg.histogram_count("lat", {}), 3u);
+  EXPECT_EQ(reg.histogram_count("lat", {{"kind", "lint"}}), 2u);
+  EXPECT_EQ(reg.histogram_count("lat", {{"cache", "miss"}}), 2u);
+  EXPECT_EQ(reg.histogram_count("lat", {{"kind", "screen"},
+                                        {"cache", "miss"}}),
+            1u);
+  EXPECT_EQ(reg.histogram_count("absent", {}), 0u);
+}
+
+TEST(MetricsRegistry, RejectsTypeConflictsAndEscapesLabels) {
+  metrics::MetricsRegistry reg;
+  reg.counter_add("thing", {}, 1);
+  EXPECT_THROW(reg.gauge_set("thing", {}, 1), ApiError);
+  EXPECT_THROW(reg.observe("thing", {}, 1), ApiError);
+
+  reg.gauge_set("weird", {{"path", "a\\b\"c\nd"}}, 9);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("weird{path=\"a\\\\b\\\"c\\nd\"} 9"),
+            std::string::npos);
 }
 
 }  // namespace
